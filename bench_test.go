@@ -1,0 +1,300 @@
+// Package repro's root benchmarks regenerate the paper's evaluation:
+//
+//	BenchmarkTable1_*   — the Table 1 model-validation cells (s̃ vs s*).
+//	BenchmarkFigure1_*  — the Figure 1 execution-time points per scheme
+//	                      and fault rate.
+//	BenchmarkSpMxV*     — the Section 3.2 overhead claims (protected vs
+//	                      plain product, checksum setup amortisation).
+//	Benchmark*Ablation* — the Section 5.1 design choices (ones vs random
+//	                      weight vectors, norm vs componentwise tolerance).
+//
+// The experiment benchmarks default to downscaled matrices so a full
+// `go test -bench=.` stays tractable; the cmd/faultsim and cmd/modelval
+// binaries run the full-size versions.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/abft"
+	"repro/internal/checksum"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/sparse"
+	"repro/internal/tmr"
+	"repro/internal/vec"
+)
+
+const benchScale = 48 // suite downscale for the experiment benchmarks
+
+// benchMatrix builds one suite instance per id for the benchmarks.
+func benchMatrix(b *testing.B, id int) (*simMatrix, []float64) {
+	b.Helper()
+	sm, ok := sim.SuiteByID(id)
+	if !ok {
+		b.Fatalf("unknown suite matrix %d", id)
+	}
+	a := sm.Generate(benchScale)
+	rhs, _ := sim.RHS(a, int64(id))
+	return &simMatrix{sm: sm, a: a}, rhs
+}
+
+type simMatrix struct {
+	sm sim.SuiteMatrix
+	a  *sparse.CSR
+}
+
+// --- Table 1: model validation (one benchmark per scheme on the smallest
+// matrix; the full nine-matrix table is cmd/modelval) ---
+
+func BenchmarkTable1_ABFTDetection_2213(b *testing.B) {
+	benchTable1Cell(b, core.ABFTDetection)
+}
+
+func BenchmarkTable1_ABFTCorrection_2213(b *testing.B) {
+	benchTable1Cell(b, core.ABFTCorrection)
+}
+
+func benchTable1Cell(b *testing.B, scheme core.Scheme) {
+	m, rhs := benchMatrix(b, 2213)
+	alpha := 1.0 / 16
+	_, sTilde := core.OptimalIntervals(m.a, scheme, alpha, core.DefaultCostParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean, _, _ := sim.AverageTime(m.a, rhs, scheme, alpha, sTilde, 1, 1e-8, int64(i), 3)
+		b.ReportMetric(mean, "model-s-time")
+	}
+}
+
+// --- Figure 1: execution time vs fault rate, one benchmark per scheme at
+// the paper's Table-1 fault rate and at a low rate (the crossover ends of
+// the sweep; the full sweep is cmd/faultsim) ---
+
+func BenchmarkFigure1_Online_341_HighRate(b *testing.B) {
+	benchFigure1Point(b, core.OnlineDetection, 1.0/16)
+}
+
+func BenchmarkFigure1_ABFTDetection_341_HighRate(b *testing.B) {
+	benchFigure1Point(b, core.ABFTDetection, 1.0/16)
+}
+
+func BenchmarkFigure1_ABFTCorrection_341_HighRate(b *testing.B) {
+	benchFigure1Point(b, core.ABFTCorrection, 1.0/16)
+}
+
+func BenchmarkFigure1_Online_341_LowRate(b *testing.B) {
+	benchFigure1Point(b, core.OnlineDetection, 1e-4)
+}
+
+func BenchmarkFigure1_ABFTDetection_341_LowRate(b *testing.B) {
+	benchFigure1Point(b, core.ABFTDetection, 1e-4)
+}
+
+func BenchmarkFigure1_ABFTCorrection_341_LowRate(b *testing.B) {
+	benchFigure1Point(b, core.ABFTCorrection, 1e-4)
+}
+
+func benchFigure1Point(b *testing.B, scheme core.Scheme, alpha float64) {
+	m, rhs := benchMatrix(b, 341)
+	b.ResetTimer()
+	var lastMean float64
+	for i := 0; i < b.N; i++ {
+		st, err := sim.RunOnce(m.a, rhs, scheme, alpha, 0, 0, 1e-8, int64(i))
+		if err != nil {
+			b.Logf("run %d did not converge: %v", i, err)
+		}
+		lastMean = st.SimTime
+	}
+	b.ReportMetric(lastMean, "model-seconds")
+}
+
+// --- Section 3.2: SpMxV overheads ---
+
+func BenchmarkSpMxVPlain(b *testing.B) {
+	m, _ := benchMatrix(b, 341)
+	x := randVec(m.a.Rows, 1)
+	y := make([]float64, m.a.Rows)
+	b.SetBytes(int64(12 * m.a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.a.MulVec(y, x)
+	}
+}
+
+func BenchmarkSpMxVRobust(b *testing.B) {
+	m, _ := benchMatrix(b, 341)
+	x := randVec(m.a.Rows, 1)
+	y := make([]float64, m.a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.a.MulVecRobust(y, x)
+	}
+}
+
+func BenchmarkSpMxVProtectedDetect(b *testing.B) {
+	benchProtected(b, abft.Detect)
+}
+
+func BenchmarkSpMxVProtectedCorrect(b *testing.B) {
+	benchProtected(b, abft.DetectCorrect)
+}
+
+func benchProtected(b *testing.B, mode abft.Mode) {
+	m, _ := benchMatrix(b, 341)
+	p := abft.NewProtected(m.a, mode)
+	x := randVec(m.a.Rows, 1)
+	ref := checksum.NewVector(x)
+	y := make([]float64, m.a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr := p.MulVec(y, x)
+		if out := p.Verify(y, x, ref, sr); out.Detected {
+			b.Fatal("false positive in benchmark")
+		}
+	}
+}
+
+func BenchmarkSpMxVParallel8(b *testing.B) {
+	m, _ := benchMatrix(b, 341)
+	p := parallel.New(m.a, 8)
+	x := randVec(m.a.Rows, 1)
+	y := make([]float64, m.a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := p.MulVec(y, x); out.Detected {
+			b.Fatal("false positive in benchmark")
+		}
+	}
+}
+
+func BenchmarkComputeChecksums(b *testing.B) {
+	// The setup cost that is amortised over all products with one matrix.
+	m, _ := benchMatrix(b, 341)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = checksum.NewMatrix(m.a)
+	}
+}
+
+// --- Section 5.1 ablations ---
+
+func BenchmarkWeightAblationOnes(b *testing.B) {
+	// The paper keeps w = (1,…,1) because a random weight vector costs
+	// extra multiplications; these two benchmarks quantify that claim.
+	m, _ := benchMatrix(b, 341)
+	ones := make([]float64, m.a.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = checksum.GeneralMatrixChecksum(m.a, ones)
+	}
+}
+
+func BenchmarkWeightAblationRandom(b *testing.B) {
+	m, _ := benchMatrix(b, 341)
+	w := checksum.RandomWeights(m.a.Rows, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = checksum.GeneralMatrixChecksum(m.a, w)
+	}
+}
+
+func BenchmarkToleranceAblationNorm(b *testing.B) {
+	benchTolerance(b, abft.TolNorm)
+}
+
+func BenchmarkToleranceAblationComponent(b *testing.B) {
+	benchTolerance(b, abft.TolComponent)
+}
+
+func benchTolerance(b *testing.B, policy abft.TolerancePolicy) {
+	m, _ := benchMatrix(b, 341)
+	p := abft.NewProtected(m.a, abft.DetectCorrect)
+	p.SetPolicy(policy)
+	x := randVec(m.a.Rows, 1)
+	ref := checksum.NewVector(x)
+	y := make([]float64, m.a.Rows)
+	sr := p.MulVec(y, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := p.Verify(y, x, ref, sr); out.Detected {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func BenchmarkRelModeAblation(b *testing.B) {
+	// The selective-reliability pricing choice: reliable mode free in time
+	// (the default) vs TMR charged as three sequential executions.
+	m, rhs := benchMatrix(b, 2213)
+	for _, extra := range []float64{0, 2} {
+		name := "energyPriced"
+		if extra > 0 {
+			name = "timePriced3x"
+		}
+		b.Run(name, func(b *testing.B) {
+			cp := core.DefaultCostParams()
+			cp.RelModeExtra = extra
+			for i := 0; i < b.N; i++ {
+				_, st, err := core.Solve(m.a, rhs, core.Config{
+					Scheme: core.ABFTCorrection, Tol: 1e-8, Costs: cp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(st.SimTime, "model-seconds")
+			}
+		})
+	}
+}
+
+// --- TMR and model micro-benchmarks ---
+
+func BenchmarkTMRDot(b *testing.B) {
+	x := randVec(1<<13, 1)
+	y := randVec(1<<13, 2)
+	var e tmr.Executor
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Dot(x, y)
+	}
+}
+
+func BenchmarkPlainDot(b *testing.B) {
+	x := randVec(1<<13, 1)
+	y := randVec(1<<13, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vec.Dot(x, y)
+	}
+}
+
+func BenchmarkOptimalS(b *testing.B) {
+	p := model.Params{T: 1, Tverif: 0.2, Tcp: 1.9, Trec: 1.9, Lambda: 1.0 / 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = p.OptimalS(16384)
+	}
+}
+
+func BenchmarkOptimalPlacementDP(b *testing.B) {
+	p := model.Params{T: 1, Tverif: 0.2, Tcp: 1.9, Trec: 1.9, Lambda: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = model.OptimalPlacement(p, 500)
+	}
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

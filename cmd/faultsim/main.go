@@ -1,0 +1,86 @@
+// Command faultsim reproduces the paper's Figure 1: the average execution
+// time of Online-Detection, ABFT-Detection and ABFT-Correction against the
+// normalised mean time between failures, for each matrix of the test suite.
+//
+// Example (fast, downscaled):
+//
+//	faultsim -scale 32 -reps 10 -points 5
+//
+// Full paper-scale reproduction (slow):
+//
+//	faultsim -scale 1 -reps 50 -points 7 -csv figure1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 16, "matrix downscale factor (1 = full paper size)")
+		reps     = flag.Int("reps", 50, "repetitions per point (the paper uses 50)")
+		points   = flag.Int("points", 7, "number of MTBF points in [1e2, 1e4]")
+		tol      = flag.Float64("tol", 1e-8, "solver tolerance")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		csvPath  = flag.String("csv", "", "write CSV to this path (default: text to stdout only)")
+		matrices = flag.String("matrices", "", "comma-separated UFL ids (default: all nine)")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	suite := sim.PaperSuite
+	if *matrices != "" {
+		suite = nil
+		for _, part := range strings.Split(*matrices, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "faultsim: bad matrix id %q: %v\n", part, err)
+				os.Exit(2)
+			}
+			m, ok := sim.SuiteByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "faultsim: unknown matrix id %d\n", id)
+				os.Exit(2)
+			}
+			suite = append(suite, m)
+		}
+	}
+
+	cfg := sim.Figure1Config{
+		Scale: *scale,
+		Reps:  *reps,
+		MTBFs: sim.LogSpace(1e2, 1e4, *points),
+		Tol:   *tol,
+		Seed:  *seed,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	series := sim.RunFigure1(cfg, suite)
+	if err := sim.WriteFigure1Text(os.Stdout, series); err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sim.WriteFigure1CSV(f, series); err != nil {
+			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,52 @@
+// Command modelval reproduces the paper's Table 1: for each suite matrix
+// and both ABFT schemes, the model-chosen checkpoint interval s̃ against the
+// empirically best s*, their average execution times, and the relative loss
+// of trusting the model.
+//
+// Example (fast, downscaled):
+//
+//	modelval -scale 32 -reps 10
+//
+// Full paper-scale reproduction (slow):
+//
+//	modelval -scale 1 -reps 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 16, "matrix downscale factor (1 = full paper size)")
+		reps  = flag.Int("reps", 50, "repetitions per (matrix, scheme, s) cell (the paper uses 50)")
+		alpha = flag.Float64("alpha", 1.0/16, "expected faults per iteration (the paper uses 1/16)")
+		tol   = flag.Float64("tol", 1e-8, "solver tolerance")
+		seed  = flag.Int64("seed", 1, "base RNG seed")
+		quiet = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := sim.Table1Config{
+		Scale: *scale,
+		Reps:  *reps,
+		Alpha: *alpha,
+		Tol:   *tol,
+		Seed:  *seed,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	rows := sim.RunTable1(cfg, sim.PaperSuite)
+	if err := sim.WriteTable1(os.Stdout, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "modelval: %v\n", err)
+		os.Exit(1)
+	}
+}

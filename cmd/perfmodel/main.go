@@ -1,0 +1,81 @@
+// Command perfmodel queries the paper's performance model (Section 4):
+// given the resilience costs and a fault rate, it prints the chunk success
+// probabilities, the optimal checkpoint intervals per scheme (Eq. (6)) and
+// the predicted overheads, plus the Young/Daly reference periods.
+//
+// Costs can be given directly (-titer/-tverif/-tcp/-trec, in arbitrary
+// consistent units) or derived from a suite matrix (-suite 341 -scale 16).
+//
+// Example:
+//
+//	perfmodel -suite 341 -scale 16 -alpha 0.0625
+//	perfmodel -titer 1 -tverif 0.1 -tcp 2 -trec 2 -lambda 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		suiteID = flag.Int("suite", 0, "derive costs from this suite matrix id (0 = use explicit costs)")
+		scale   = flag.Int("scale", 16, "suite downscale factor")
+		alpha   = flag.Float64("alpha", 1.0/16, "expected faults per iteration (λ with Titer = 1)")
+		titer   = flag.Float64("titer", 1, "iteration cost")
+		tverif  = flag.Float64("tverif", 0.1, "verification cost per chunk")
+		tcp     = flag.Float64("tcp", 2, "checkpoint cost")
+		trec    = flag.Float64("trec", 2, "recovery cost")
+	)
+	flag.Parse()
+
+	if *suiteID != 0 {
+		sm, ok := sim.SuiteByID(*suiteID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "perfmodel: unknown suite matrix %d\n", *suiteID)
+			os.Exit(2)
+		}
+		a := sm.Generate(*scale)
+		fmt.Printf("matrix #%d at scale %d: n=%d nnz=%d\n\n", sm.ID, *scale, a.Rows, a.NNZ())
+		for _, scheme := range core.Schemes {
+			costs := core.NewCosts(a, scheme, core.DefaultCostParams())
+			d, s := core.OptimalIntervals(a, scheme, *alpha, core.DefaultCostParams())
+			p := model.Params{
+				T:          float64(d),
+				Tverif:     costs.Tverif / costs.Titer,
+				Tcp:        costs.Tcp / costs.Titer,
+				Trec:       costs.Trec / costs.Titer,
+				Lambda:     *alpha,
+				Correcting: scheme == core.ABFTCorrection,
+			}
+			fmt.Printf("%-18s Titer=%.3e s  Tverif/Titer=%.3f  Tcp/Titer=%.3f\n",
+				scheme, costs.Titer, costs.Tverif/costs.Titer, costs.Tcp/costs.Titer)
+			fmt.Printf("%-18s q=%.6f  optimal d=%d s=%d  predicted overhead=%.4f\n\n",
+				"", p.Q(), d, s, p.Overhead(s))
+		}
+		return
+	}
+
+	fmt.Printf("abstract model: Titer=%v Tverif=%v Tcp=%v Trec=%v lambda=%v\n\n",
+		*titer, *tverif, *tcp, *trec, *alpha)
+	for _, correcting := range []bool{false, true} {
+		p := model.Params{
+			T: *titer, Tverif: *tverif, Tcp: *tcp, Trec: *trec,
+			Lambda: *alpha, Correcting: correcting,
+		}
+		s, ov := p.OptimalS(100000)
+		label := "detection "
+		if correcting {
+			label = "correction"
+		}
+		fmt.Printf("%s: q=%.6f  s*=%d  E(s*,T)=%.4f  overhead=%.4f\n",
+			label, p.Q(), s, p.FrameTime(s), ov)
+	}
+	fmt.Printf("\nYoung period: %.3f   Daly period: %.3f\n",
+		model.YoungPeriod(*tcp, *alpha), model.DalyPeriod(*tcp, *trec, *alpha))
+}

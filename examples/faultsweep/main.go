@@ -1,0 +1,42 @@
+// Faultsweep compares the three resilient schemes of the paper across a
+// range of fault rates on one matrix of the test suite — a one-matrix
+// version of the paper's Figure 1.
+//
+// Run with:
+//
+//	go run ./examples/faultsweep
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	sm, _ := sim.SuiteByID(341)
+	a := sm.Generate(24) // downscaled for a quick demo; nnz/row is preserved
+	b, _ := sim.RHS(a, 7)
+
+	fmt.Printf("matrix #%d at 1/24 scale: n=%d, nnz=%d\n\n", sm.ID, a.Rows, a.NNZ())
+	fmt.Printf("%-14s %-20s %-20s %-20s\n", "MTBF (1/α)",
+		core.OnlineDetection, core.ABFTDetection, core.ABFTCorrection)
+
+	for _, mtbf := range []float64{16, 50, 100, 1000, 10000} {
+		fmt.Printf("%-14.0f", mtbf)
+		for _, scheme := range core.Schemes {
+			mean, _, fails := sim.AverageTime(a, b, scheme, 1/mtbf, 0, 0, 1e-8, 99, 10)
+			marker := ""
+			if fails > 0 {
+				marker = "*"
+			}
+			fmt.Printf(" %-19s", fmt.Sprintf("%.4fs%s", mean, marker))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(averages over 10 runs; * marks runs that failed to converge)")
+	fmt.Println("Expected shape, as in the paper: ABFT-Correction wins at high")
+	fmt.Println("fault rates by correcting forward instead of rolling back; at")
+	fmt.Println("very low rates its extra checksums make it slightly slower.")
+}

@@ -1,0 +1,56 @@
+// Parallelspmv demonstrates the row-block parallel ABFT SpMxV from the
+// paper's introduction: each goroutine owns a block of rows with its own
+// local checksums, so errors in different blocks are detected — and single
+// errors per block corrected — independently and concurrently.
+//
+// Run with:
+//
+//	go run ./examples/parallelspmv
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitflip"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+func main() {
+	n := 2000
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.01, DiagShift: 1, Seed: 5})
+	p := parallel.New(a, 8)
+	fmt.Printf("matrix: n=%d, nnz=%d, partitioned into %d row blocks\n\n", n, a.NNZ(), p.Blocks())
+
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+
+	// Clean product.
+	out := p.MulVec(y, x)
+	fmt.Printf("clean product:        detected=%v\n", out.Detected)
+
+	// One error: a bit flip in a matrix value.
+	k1 := a.Rowidx[100]
+	a.Val[k1] = bitflip.Float64(a.Val[k1], 61)
+	out = p.MulVec(y, x)
+	fmt.Printf("one Val flip:         detected=%v in blocks %v\n", out.Detected, out.BlockErrors)
+	a.Val[k1] = bitflip.Float64(a.Val[k1], 61) // restore
+
+	// Two simultaneous errors in two different blocks: the sequential
+	// single-error decoder would have to roll back; the block scheme
+	// localises both independently.
+	k1 = a.Rowidx[50]      // block 0
+	k2 := a.Rowidx[n/2+50] // a middle block
+	a.Val[k1] = bitflip.Float64(a.Val[k1], 61)
+	a.Val[k2] = bitflip.Float64(a.Val[k2], 61)
+	out = p.MulVec(y, x)
+	fmt.Printf("two flips, 2 blocks:  detected=%v in blocks %v\n", out.Detected, out.BlockErrors)
+	fmt.Println("\nLocal detection in each block implies global detection for the")
+	fmt.Println("whole SpMxV — the property the paper uses to argue the scheme")
+	fmt.Println("carries over to message-passing implementations unchanged.")
+}

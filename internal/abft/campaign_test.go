@@ -1,0 +1,116 @@
+package abft
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitflip"
+	"repro/internal/checksum"
+	"repro/internal/sparse"
+)
+
+// TestRandomSingleFaultCampaign fires hundreds of random single bit flips —
+// uniformly over Val, Colid, Rowidx, x and y, like the paper's injector —
+// at protected products and requires that every flip is either corrected,
+// flagged for rollback, or provably harmless (below the detection
+// tolerance with a negligible effect on the product).
+func TestRandomSingleFaultCampaign(t *testing.T) {
+	const trials = 400
+	rng := rand.New(rand.NewSource(99))
+
+	var corrected, rolledBack, undetected, harmlessMiss int
+	for trial := 0; trial < trials; trial++ {
+		n := 30 + rng.Intn(50)
+		a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.15, DiagShift: 1, Seed: int64(trial)})
+		p := NewProtected(a, DetectCorrect)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xRef := checksum.NewVector(x)
+		y := make([]float64, n)
+		truth := make([]float64, n)
+		aClean := a.Clone()
+		aClean.MulVec(truth, x)
+		xClean := append([]float64(nil), x...)
+
+		// Choose a target uniformly over the words.
+		nnz := a.NNZ()
+		total := nnz*2 + len(a.Rowidx) + 2*n // Val, Colid, Rowidx, x, y
+		w := rng.Intn(total)
+		postCompute := false
+		switch {
+		case w < nnz:
+			a.Val[w] = bitflip.Float64(a.Val[w], uint(rng.Intn(64)))
+		case w < 2*nnz:
+			a.Colid[w-nnz] = bitflip.Int(a.Colid[w-nnz], uint(rng.Intn(25)))
+		case w < 2*nnz+len(a.Rowidx):
+			a.Rowidx[w-2*nnz] = bitflip.Int(a.Rowidx[w-2*nnz], uint(rng.Intn(25)))
+		case w < 2*nnz+len(a.Rowidx)+n:
+			x[w-2*nnz-len(a.Rowidx)] = bitflip.Float64(x[w-2*nnz-len(a.Rowidx)], uint(rng.Intn(64)))
+		default:
+			postCompute = true
+		}
+
+		sr := p.MulVec(y, x)
+		if postCompute {
+			i := w - 2*nnz - len(a.Rowidx) - n
+			y[i] = bitflip.Float64(y[i], uint(rng.Intn(64)))
+		}
+		out := p.Verify(y, x, xRef, sr)
+
+		switch {
+		case out.Corrected:
+			corrected++
+			// After correction the product must be (approximately) right.
+			for i := range truth {
+				if diff := abs(y[i] - truth[i]); diff > 1e-6*(1+abs(truth[i])) {
+					t.Fatalf("trial %d: corrected but y[%d]=%v want %v", trial, i, y[i], truth[i])
+				}
+			}
+		case out.Detected:
+			rolledBack++
+		default:
+			undetected++
+			// An undetected flip must be harmless: the product and the
+			// state must be near the truth (the paper's false negatives —
+			// low-order mantissa flips below the rounding tolerance).
+			ok := true
+			for i := range truth {
+				if abs(y[i]-truth[i]) > 1e-4*(1+abs(truth[i])) {
+					ok = false
+					break
+				}
+			}
+			for i := range x {
+				if abs(x[i]-xClean[i]) > 1e-4*(1+abs(xClean[i])) {
+					ok = false
+				}
+			}
+			if !ok {
+				harmlessMiss++
+			}
+		}
+	}
+
+	t.Logf("campaign: %d corrected, %d rollback, %d undetected (harmless), %d harmful misses",
+		corrected, rolledBack, undetected, harmlessMiss)
+	if corrected == 0 {
+		t.Fatal("campaign exercised no corrections")
+	}
+	if harmlessMiss > 0 {
+		t.Fatalf("%d harmful undetected faults", harmlessMiss)
+	}
+	// Forward recovery is the whole point: most single faults must be
+	// corrected rather than rolled back.
+	if float64(corrected) < 0.5*float64(corrected+rolledBack) {
+		t.Fatalf("only %d/%d detected faults corrected", corrected, corrected+rolledBack)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,149 @@
+// Package checkpoint implements the backward-recovery substrate: an
+// in-memory snapshot store for the resilient solver state.
+//
+// Following the paper (Section 3.1), a checkpoint saves the current
+// iteration vectors *and the sparse matrix A*: "if this error comes from a
+// corruption in data memory, we need to recover with a valid copy of the
+// data matrix A. This holds for the three methods under study … which have
+// exactly the same checkpoint cost."
+//
+// Checkpoints are only ever taken right after a verification, so the saved
+// state is always valid; recovery rolls the live state back to it. Both
+// operations are error-free in the model (selective reliability), and their
+// costs Tcp and Trec are charged by the caller through the cost model using
+// the Words() size of the snapshot.
+package checkpoint
+
+import (
+	"repro/internal/sparse"
+)
+
+// State is the solver state covered by a checkpoint: the matrix and the
+// named iteration vectors (CG needs x, r, p; other solvers register what
+// they use).
+type State struct {
+	A *sparse.CSR
+	// M is the explicit sparse preconditioner of the PCG drivers (nil for
+	// unpreconditioned solvers); it is checkpointed and restored exactly
+	// like A, so memory faults on the preconditioner are recoverable too.
+	M         *sparse.CSR
+	Vectors   map[string][]float64
+	Iteration int
+	// Scalars preserves recurrence scalars (e.g. ‖r‖² of the checkpointed
+	// iteration) that the solver needs to resume mid-stream.
+	Scalars map[string]float64
+}
+
+// Store holds the last snapshot and usage counters.
+type Store struct {
+	saved       *State
+	saves       int64
+	restores    int64
+	savedWords  int64
+	hasSnapshot bool
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Save deep-copies the live state into the store, replacing any previous
+// snapshot.
+func (s *Store) Save(live *State) {
+	snap := &State{
+		Iteration: live.Iteration,
+		Vectors:   make(map[string][]float64, len(live.Vectors)),
+		Scalars:   make(map[string]float64, len(live.Scalars)),
+	}
+	if live.A != nil {
+		snap.A = live.A.Clone()
+	}
+	if live.M != nil {
+		snap.M = live.M.Clone()
+	}
+	for name, v := range live.Vectors {
+		cp := make([]float64, len(v))
+		copy(cp, v)
+		snap.Vectors[name] = cp
+	}
+	for name, v := range live.Scalars {
+		snap.Scalars[name] = v
+	}
+	s.saved = snap
+	s.saves++
+	s.savedWords = int64(snapWords(snap))
+	s.hasSnapshot = true
+}
+
+// Restore copies the snapshot back into the live state (in place: the live
+// arrays keep their identity so aliases held by the solver stay valid).
+// Panics if no snapshot exists or shapes mismatch — both are programming
+// errors in the drivers.
+func (s *Store) Restore(live *State) {
+	if !s.hasSnapshot {
+		panic("checkpoint: Restore without a snapshot")
+	}
+	snap := s.saved
+	if (snap.A == nil) != (live.A == nil) {
+		panic("checkpoint: matrix presence mismatch")
+	}
+	if snap.A != nil {
+		live.A.CopyFrom(snap.A)
+	}
+	if (snap.M == nil) != (live.M == nil) {
+		panic("checkpoint: preconditioner presence mismatch")
+	}
+	if snap.M != nil {
+		live.M.CopyFrom(snap.M)
+	}
+	for name, v := range snap.Vectors {
+		dst, ok := live.Vectors[name]
+		if !ok || len(dst) != len(v) {
+			panic("checkpoint: vector shape mismatch for " + name)
+		}
+		copy(dst, v)
+	}
+	live.Iteration = snap.Iteration
+	if live.Scalars == nil {
+		live.Scalars = make(map[string]float64, len(snap.Scalars))
+	}
+	for name, v := range snap.Scalars {
+		live.Scalars[name] = v
+	}
+	s.restores++
+}
+
+// HasSnapshot reports whether a snapshot exists.
+func (s *Store) HasSnapshot() bool { return s.hasSnapshot }
+
+// SavedIteration returns the iteration number of the snapshot (-1 if none).
+func (s *Store) SavedIteration() int {
+	if !s.hasSnapshot {
+		return -1
+	}
+	return s.saved.Iteration
+}
+
+// Words returns the size of the last snapshot in machine words — the
+// quantity the cost model converts into Tcp and Trec.
+func (s *Store) Words() int64 { return s.savedWords }
+
+// Counters returns how many saves and restores have been performed.
+func (s *Store) Counters() (saves, restores int64) { return s.saves, s.restores }
+
+func snapWords(st *State) int {
+	w := 0
+	if st.A != nil {
+		w += st.A.MemoryWords()
+	}
+	if st.M != nil {
+		w += st.M.MemoryWords()
+	}
+	for _, v := range st.Vectors {
+		w += len(v)
+	}
+	return w
+}
+
+// StateWords returns the checkpointable size of a live state without saving
+// it (used to compute Tcp before the first checkpoint).
+func StateWords(st *State) int64 { return int64(snapWords(st)) }

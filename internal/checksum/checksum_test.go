@@ -1,0 +1,265 @@
+package checksum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+func TestGamma(t *testing.T) {
+	g := Gamma(100)
+	want := 100 * 0x1p-53 / (1 - 100*0x1p-53)
+	if g != want {
+		t.Fatalf("Gamma(100) = %v, want %v", g, want)
+	}
+	if Gamma(10) >= Gamma(20) {
+		t.Fatal("Gamma must be increasing")
+	}
+}
+
+func TestSums(t *testing.T) {
+	s1, s2 := Sums([]float64{10, 20, 30})
+	if s1 != 60 {
+		t.Errorf("s1 = %v, want 60", s1)
+	}
+	if s2 != 10+40+90 {
+		t.Errorf("s2 = %v, want 140", s2)
+	}
+}
+
+func TestSumsInt(t *testing.T) {
+	s1, s2 := SumsInt([]int{1, 2, 3})
+	if s1 != 6 || s2 != 1+4+9 {
+		t.Fatalf("SumsInt = %v, %v", s1, s2)
+	}
+}
+
+func TestNewMatrixChecksums(t *testing.T) {
+	// A = [2 -1 0; -1 2 -1; 0 -1 2]
+	a := sparse.Tridiag(3, 2, -1)
+	m := NewMatrix(a)
+	// Column sums: [1, 0, 1]; weighted (1,2,3) column sums:
+	// col0: 1*2 + 2*(-1) = 0; col1: 1*(-1)+2*2+3*(-1) = 0; col2: 2*(-1)+3*2 = 4.
+	wantC1 := []float64{1, 0, 1}
+	wantC2 := []float64{0, 0, 4}
+	for j := range wantC1 {
+		if m.C1[j] != wantC1[j] {
+			t.Fatalf("C1 = %v, want %v", m.C1, wantC1)
+		}
+		if m.C2[j] != wantC2[j] {
+			t.Fatalf("C2 = %v, want %v", m.C2, wantC2)
+		}
+	}
+	// AbsC1: column sums of |A|: [3, 4, 3].
+	if m.AbsC1[1] != 4 {
+		t.Fatalf("AbsC1 = %v", m.AbsC1)
+	}
+	// Rowidx = [0 1 4 7] → wait: Tridiag(3) rowidx is [0,2,5,7].
+	cr1, cr2 := SumsInt(a.Rowidx)
+	if m.CR1 != cr1 || m.CR2 != cr2 {
+		t.Fatal("Rowidx checksums wrong")
+	}
+	// Shift: norm1 = 4, k = 5, and C1[j]+k ∈ {6,5,6} all nonzero.
+	if m.K != 5 {
+		t.Fatalf("K = %v, want 5", m.K)
+	}
+	for j := range m.C1 {
+		if m.C1[j]+m.K == 0 {
+			t.Fatal("shifted checksum has a zero column")
+		}
+	}
+}
+
+func TestShiftKHandlesZeroColumnSums(t *testing.T) {
+	// Graph Laplacians have exactly zero column sums: the motivating case.
+	a := sparse.RandomGraphLaplacian(60, 4, 0, 5)
+	m := NewMatrix(a)
+	for j := range m.C1 {
+		if m.C1[j] != 0 {
+			t.Fatalf("Laplacian column %d sum = %v, want 0", j, m.C1[j])
+		}
+		if m.C1[j]+m.K == 0 {
+			t.Fatal("shift failed to clear zero column")
+		}
+	}
+}
+
+func TestShiftKAdversarial(t *testing.T) {
+	// Column sums engineered so the first candidate k collides.
+	cols := []float64{-(1.5 + 1)} // norm1 pretend = 1.5 → k starts at 2.5
+	k := ShiftK(cols, 1.5)
+	if cols[0]+k == 0 {
+		t.Fatal("ShiftK returned a colliding shift")
+	}
+}
+
+func TestNewMatrixRequiresSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(sparse.Dense(2, 3, make([]float64, 6)))
+}
+
+// Property: checksum identity w_rᵀ(Ax) == C_rᵀx holds to within the
+// componentwise tolerance for random matrices and vectors (fault-free).
+func TestChecksumIdentityWithinTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.2, DiagShift: 1, Seed: seed})
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 10
+		}
+		m := NewMatrix(a)
+		y := make([]float64, n)
+		a.MulVec(y, x)
+
+		s1, s2 := Sums(y)
+		var c1x, c2x float64
+		for j := range x {
+			c1x += m.C1[j] * x[j]
+			c2x += m.C2[j] * x[j]
+		}
+		if math.Abs(s1-c1x) > m.ToleranceComponent(1, x) {
+			return false
+		}
+		return math.Abs(s2-c2x) <= m.ToleranceComponent(2, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the shifted identity (paper Theorem 1, condition i) holds:
+// (C1+k)ᵀx == Σy + k·Σx within tolerance.
+func TestShiftedChecksumIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.3, DiagShift: 1, Seed: seed + 1})
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		m := NewMatrix(a)
+		y := make([]float64, n)
+		a.MulVec(y, x)
+		var lhs float64
+		for j := range x {
+			lhs += (m.C1[j] + m.K) * x[j]
+		}
+		sy, _ := Sums(y)
+		sx, _ := Sums(x)
+		rhs := sy + m.K*sx
+		return math.Abs(lhs-rhs) <= m.ToleranceComponent(1, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToleranceNormDominatesComponent(t *testing.T) {
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: 100, Density: 0.05, DiagShift: 1, Seed: 4})
+	m := NewMatrix(a)
+	x := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	var nx float64
+	for _, v := range x {
+		if av := math.Abs(v); av > nx {
+			nx = av
+		}
+	}
+	for r := 1; r <= 2; r++ {
+		comp := m.ToleranceComponent(r, x)
+		norm := m.ToleranceNorm(r, nx)
+		if comp > norm {
+			t.Fatalf("row %d: component tolerance %v exceeds norm tolerance %v", r, comp, norm)
+		}
+	}
+}
+
+func TestVectorChecksumDefect(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	c := NewVector(v)
+	d1, d2 := c.Defect(v)
+	if d1 != 0 || d2 != 0 {
+		t.Fatalf("clean defect = (%v,%v)", d1, d2)
+	}
+	// Corrupt index 2 by +5: defects must be (-5, -(2+1)*5).
+	v[2] += 5
+	d1, d2 = c.Defect(v)
+	if d1 != -5 || d2 != -15 {
+		t.Fatalf("defect = (%v,%v), want (-5,-15)", d1, d2)
+	}
+	// Localisation: ratio gives the 1-based position.
+	if pos := d2 / d1; pos != 3 {
+		t.Fatalf("position ratio = %v, want 3", pos)
+	}
+}
+
+func TestVectorTolerance(t *testing.T) {
+	v := []float64{1, -1, 1}
+	t1, t2 := VectorTolerance(v)
+	if t1 <= 0 || t2 <= 0 {
+		t.Fatal("tolerances must be positive for nonzero vectors")
+	}
+	if t2 <= t1 {
+		t.Fatal("row-2 tolerance must exceed row-1 for increasing weights")
+	}
+}
+
+func TestRandomWeights(t *testing.T) {
+	w := RandomWeights(100, 3)
+	for _, v := range w {
+		if v < 0.5 || v >= 1.5 {
+			t.Fatalf("weight %v out of [0.5, 1.5)", v)
+		}
+	}
+	w2 := RandomWeights(100, 3)
+	for i := range w {
+		if w[i] != w2[i] {
+			t.Fatal("RandomWeights not deterministic")
+		}
+	}
+}
+
+func TestGeneralMatrixChecksum(t *testing.T) {
+	a := sparse.Tridiag(3, 2, -1)
+	ones := []float64{1, 1, 1}
+	got := GeneralMatrixChecksum(a, ones)
+	m := NewMatrix(a)
+	for j := range got {
+		if got[j] != m.C1[j] {
+			t.Fatalf("ones-weight general checksum %v != C1 %v", got, m.C1)
+		}
+	}
+}
+
+func TestFlopsCompute(t *testing.T) {
+	a := sparse.Tridiag(10, 2, -1)
+	if FlopsCompute(a) <= 0 {
+		t.Fatal("flops must be positive")
+	}
+}
+
+func TestRowAccessors(t *testing.T) {
+	m := NewMatrix(sparse.Tridiag(3, 2, -1))
+	if &m.Row(1)[0] != &m.C1[0] || &m.Row(2)[0] != &m.C2[0] {
+		t.Fatal("Row accessor wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for row 3")
+		}
+	}()
+	m.Row(3)
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/abft"
+	"repro/internal/checkpoint"
+	"repro/internal/fault"
+	"repro/internal/sparse"
+	"repro/internal/tmr"
+	"repro/internal/vec"
+)
+
+// This file implements a resilient BiCGstab driver. The paper's Section 3
+// claims its techniques apply to "any iterative solver that use sparse
+// matrix vector multiplies and vector operations. This list includes many
+// of the non-stationary iterative solvers such as CGNE, BiCG, BiCGstab".
+// BiCGstab performs two SpMxVs per iteration (v = Ap and t = As); both are
+// ABFT-protected with the same machinery as the CG driver, and the
+// checkpoint additionally carries the shadow residual r̂ and the recurrence
+// scalars (ρ, α, ω).
+
+// BiCGstabConfig parameterises a resilient BiCGstab solve. Only the ABFT
+// schemes are supported: Chen's orthogonality test is CG-specific, so
+// OnlineDetection has no faithful BiCGstab counterpart.
+type BiCGstabConfig struct {
+	Scheme   Scheme // ABFTDetection or ABFTCorrection
+	S        int
+	Tol      float64
+	MaxIters int
+	Injector *fault.Injector
+	Costs    CostParams
+}
+
+// SolveBiCGstab runs the resilient BiCGstab on Ax = b for general
+// (possibly nonsymmetric) A.
+func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, Stats, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return nil, Stats{}, fmt.Errorf("core: BiCGstab dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
+	}
+	if cfg.Scheme == OnlineDetection {
+		return nil, Stats{}, fmt.Errorf("core: BiCGstab supports the ABFT schemes only")
+	}
+	base := Config{
+		Scheme: cfg.Scheme, S: cfg.S, Tol: cfg.Tol,
+		MaxIters: cfg.MaxIters, Injector: cfg.Injector, Costs: cfg.Costs,
+	}
+	base = base.withDefaults(n)
+
+	live := a.Clone()
+	costs := NewCosts(live, base.Scheme, base.Costs)
+	costs.Titer *= 2 // two products and roughly twice the vector work per iteration
+
+	alpha := 0.0
+	if cfg.Injector != nil {
+		alpha = cfg.Injector.Alpha()
+	}
+	s := base.S
+	if s == 0 {
+		_, s = OptimalIntervals(a, base.Scheme, alpha, base.Costs)
+	}
+
+	st := Stats{Scheme: base.Scheme, D: 1, S: s}
+	mode := abftMode(base.Scheme)
+
+	r := vec.Clone(b) // x0 = 0
+	rHat := vec.Clone(r)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	sv := make([]float64, n)
+	tv := make([]float64, n)
+	x := make([]float64, n)
+
+	prot := abft.NewProtected(live, mode)
+	rGuard := abft.NewGuard(r, mode)
+	pGuard := abft.NewGuard(p, mode)
+	sGuard := abft.NewGuard(sv, mode)
+	xGuard := abft.NewGuard(x, mode)
+	st.SimTime += SetupCost(live, base.Scheme, base.Costs)
+
+	state := &fault.State{A: live, R: r, P: p, Q: v, X: x}
+	store := checkpoint.NewStore()
+	initStore := checkpoint.NewStore()
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	rho, alphaS, omega := 1.0, 1.0, 1.0
+	it := 0
+	highWater, stuck := 0, 0
+	last := 0
+	var exec tmr.Executor
+
+	snapshot := func() *checkpoint.State {
+		return &checkpoint.State{
+			A: live,
+			Vectors: map[string][]float64{
+				"x": x, "r": r, "rHat": rHat, "p": p, "v": v,
+			},
+			Iteration: it,
+			Scalars:   map[string]float64{"rho": rho, "alpha": alphaS, "omega": omega},
+		}
+	}
+	save := func(charge bool) {
+		store.Save(snapshot())
+		last = it
+		if charge {
+			st.Checkpoints++
+			st.TimeCkpt += costs.Tcp
+		}
+	}
+	rollback := func() {
+		use := store
+		stuck++
+		if stuck > stuckLimit {
+			use = initStore
+			stuck = 0
+			highWater = 0
+			last = 0
+		}
+		liveState := &checkpoint.State{
+			A: live,
+			Vectors: map[string][]float64{
+				"x": x, "r": r, "rHat": rHat, "p": p, "v": v,
+			},
+			Scalars: map[string]float64{},
+		}
+		use.Restore(liveState)
+		it = liveState.Iteration
+		rho = liveState.Scalars["rho"]
+		alphaS = liveState.Scalars["alpha"]
+		omega = liveState.Scalars["omega"]
+		st.Rollbacks++
+		st.TimeRecovery += costs.Trec
+		rGuard.Refresh(r)
+		pGuard.Refresh(p)
+		xGuard.Refresh(x)
+		prot.Reencode()
+	}
+	save(false)
+	initStore.Save(snapshot())
+
+	maxTotal := int64(base.MaxIters)*10 + 1000
+	finalRetries := 0
+	fail := func() { rollback() }
+
+	for {
+		if vec.Norm2(r) <= base.Tol*normB {
+			st.TimeVerif += costs.Titer / 2
+			live.MulVecRobust(tv, x)
+			vec.Sub(tv, b, tv)
+			confirmTol := math.Max(10*base.Tol, 1e-6) * normB
+			if tr := vec.Norm2(tv); tr <= confirmTol && !math.IsNaN(tr) {
+				st.Converged = true
+				st.UsefulIterations = it
+				break
+			}
+			finalRetries++
+			if finalRetries >= maxFinalCheckRetries {
+				st.UsefulIterations = it
+				return finish(a, b, x, normB, &st, cfg.Injector,
+					fmt.Errorf("core: BiCGstab %v: convergence confirmation kept failing", base.Scheme))
+			}
+			fail()
+			continue
+		}
+		if it >= base.MaxIters || st.TotalIterations >= maxTotal {
+			st.UsefulIterations = it
+			return finish(a, b, x, normB, &st, cfg.Injector,
+				fmt.Errorf("core: BiCGstab %v: not converged after %d useful (%d total) iterations",
+					base.Scheme, it, st.TotalIterations))
+		}
+
+		st.TotalIterations++
+		var deferred []fault.Event
+		if cfg.Injector != nil {
+			_, deferred = cfg.Injector.InjectIterationSplit(state)
+		}
+		st.TimeIter += costs.Titer
+		st.TimeVerif += costs.Tverif
+
+		// Memory-fault checks on the guarded vectors.
+		bad := false
+		for i, g := range []*abft.VectorGuard{rGuard, xGuard} {
+			out := g.Check([][]float64{r, x}[i])
+			if out.Detected {
+				st.Detections++
+				if !out.Corrected {
+					bad = true
+					break
+				}
+				st.Corrections++
+				st.TimeVerif += TcorrectVector(live, base.Costs)
+			}
+		}
+		if bad {
+			fail()
+			continue
+		}
+
+		rhoNew := exec.Dot(rHat, r)
+		if rhoNew == 0 || math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
+			st.Detections++
+			fail()
+			continue
+		}
+		if it == 0 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alphaS / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		pGuard.Refresh(p)
+
+		// First protected product: v = A·p.
+		srV := prot.MulVec(v, p)
+		for _, ev := range deferred {
+			if ev.Target == fault.TargetVecQ {
+				cfg.Injector.ApplyEvent(state, ev)
+			}
+		}
+		outV := prot.Verify(v, p, pGuard.Ref(), srV)
+		if outV.Detected {
+			st.Detections++
+			if !outV.Corrected {
+				fail()
+				continue
+			}
+			st.Corrections++
+			st.TimeVerif += costs.Tcorrect
+			if outV.Class == abft.ClassVal || outV.Class == abft.ClassColid || outV.Class == abft.ClassRowidx {
+				prot.Reencode()
+			}
+		}
+
+		den := exec.Dot(rHat, v)
+		if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+			st.Detections++
+			fail()
+			continue
+		}
+		alphaS = rho / den
+		exec.AxpyTo(sv, -alphaS, v, r)
+		sGuard.Refresh(sv)
+
+		// Early half-step convergence.
+		if vec.Norm2(sv) <= base.Tol*normB {
+			exec.Axpy(alphaS, p, x)
+			xGuard.Refresh(x)
+			copy(r, sv)
+			rGuard.Refresh(r)
+			it++
+			continue // the top-of-loop confirmation validates it
+		}
+
+		// Second protected product: t = A·s.
+		srT := prot.MulVec(tv, sv)
+		outT := prot.Verify(tv, sv, sGuard.Ref(), srT)
+		if outT.Detected {
+			st.Detections++
+			if !outT.Corrected {
+				fail()
+				continue
+			}
+			st.Corrections++
+			st.TimeVerif += costs.Tcorrect
+			if outT.Class == abft.ClassVal || outT.Class == abft.ClassColid || outT.Class == abft.ClassRowidx {
+				prot.Reencode()
+			}
+		}
+
+		tt := exec.Norm2Sq(tv)
+		if tt == 0 || math.IsNaN(tt) || math.IsInf(tt, 0) {
+			st.Detections++
+			fail()
+			continue
+		}
+		omega = exec.Dot(tv, sv) / tt
+		if omega == 0 || math.IsNaN(omega) || math.IsInf(omega, 0) {
+			st.Detections++
+			fail()
+			continue
+		}
+
+		exec.Axpy(alphaS, p, x)
+		exec.Axpy(omega, sv, x)
+		xGuard.Refresh(x)
+		exec.AxpyTo(r, -omega, tv, sv)
+		rGuard.Refresh(r)
+
+		it++
+		if it > highWater {
+			highWater = it
+			stuck = 0
+		}
+		if it%s == 0 && it > last {
+			save(true)
+		}
+	}
+	return finish(a, b, x, normB, &st, cfg.Injector, nil)
+}
+
+// finish computes the final statistics common to the drivers.
+func finish(a *sparse.CSR, b, x []float64, normB float64, st *Stats, inj *fault.Injector, err error) ([]float64, Stats, error) {
+	st.SimTime = st.TimeIter + st.TimeVerif + st.TimeCkpt + st.TimeRecovery + st.SimTime
+	if inj != nil {
+		st.FaultsInjected = inj.Stats().Flips
+	}
+	rr := make([]float64, len(b))
+	a.MulVec(rr, x)
+	vec.Sub(rr, b, rr)
+	st.FinalResidual = vec.Norm2(rr) / normB
+	return x, *st, err
+}

@@ -1,0 +1,48 @@
+package model
+
+import "math"
+
+// This file implements a dynamic-programming placement baseline in the
+// spirit of Benoit, Cavelan, Robert & Sun (PMBS 2014), which the paper
+// cites as the known (non-closed-form) way to compute the optimal
+// repartition of checkpoints and verifications: given a finite horizon of N
+// chunks, choose after which chunks to checkpoint so the total expected
+// time is minimal. Within a frame the expected time follows Eq. (5); the DP
+// optimises the frame boundaries rather than assuming one fixed s, which
+// matters for horizons that are not multiples of the periodic optimum.
+
+// OptimalPlacement computes the minimum expected time to execute n chunks
+// with a checkpoint after the last one of each frame, and returns the
+// chosen frame lengths in execution order. O(n²) time, O(n) space.
+func OptimalPlacement(p Params, n int) (total float64, frames []int) {
+	if n <= 0 {
+		return 0, nil
+	}
+	// frameCost[s] = E(s, T) for a frame of s chunks.
+	frameCost := make([]float64, n+1)
+	for s := 1; s <= n; s++ {
+		frameCost[s] = p.FrameTime(s)
+	}
+	// best[i] = minimal expected time for the first i chunks; prev[i] = the
+	// start of the last frame in the optimum for i chunks.
+	best := make([]float64, n+1)
+	prev := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		best[i] = math.Inf(1)
+		for j := 0; j < i; j++ {
+			if c := best[j] + frameCost[i-j]; c < best[i] {
+				best[i] = c
+				prev[i] = j
+			}
+		}
+	}
+	// Reconstruct frame lengths.
+	for i := n; i > 0; i = prev[i] {
+		frames = append(frames, i-prev[i])
+	}
+	// Reverse into execution order.
+	for l, r := 0, len(frames)-1; l < r; l, r = l+1, r-1 {
+		frames[l], frames[r] = frames[r], frames[l]
+	}
+	return best[n], frames
+}

@@ -1,0 +1,173 @@
+// Package model implements the paper's abstract performance model
+// (Section 4): execution is divided into chunks of T time units, each
+// followed by a verification of cost Tverif; s chunks form a frame, each
+// frame ends with a checkpoint of cost Tcp; on a detected error the frame
+// restarts after a recovery of cost Trec.
+//
+// With chunk success probability q, the expected frame time is (paper
+// Eq. (5)):
+//
+//	E(s,T) = Tcp + (q^{-s} − 1)·Trec + (T + Tverif)·(1 − q^s)/(q^s·(1 − q))
+//
+// and the checkpointing interval s* minimises the overhead E(s,T)/(s·T)
+// (Eq. (6)). The chunk success probability depends on the scheme:
+//
+//	detection only      q = e^{−λT}                 (Section 4.2.1–4.2.2)
+//	single-error fixup  q = e^{−λT} + λT·e^{−λT}    (Section 4.2.3)
+//
+// because with ABFT-Correction an iteration survives zero OR one error.
+package model
+
+import (
+	"math"
+)
+
+// Params describes one resilient scheme instance.
+type Params struct {
+	// T is the chunk duration (d·Titer for Online-Detection, Titer for the
+	// ABFT schemes).
+	T float64
+	// Tverif is the verification cost paid after every chunk.
+	Tverif float64
+	// Tcp is the checkpoint cost paid after every s chunks.
+	Tcp float64
+	// Trec is the recovery cost paid on rollback.
+	Trec float64
+	// Lambda is the error rate per time unit.
+	Lambda float64
+	// Correcting is true for schemes that survive a single error per chunk
+	// (ABFT-Correction).
+	Correcting bool
+}
+
+// Q returns the chunk success probability.
+func (p Params) Q() float64 {
+	lt := p.Lambda * p.T
+	q := math.Exp(-lt)
+	if p.Correcting {
+		q += lt * math.Exp(-lt)
+	}
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// FrameTime returns E(s,T), the expected time to complete one frame of s
+// chunks (paper Eq. (5)). The λ→0 limit (q = 1) is handled exactly.
+func (p Params) FrameTime(s int) float64 {
+	if s < 1 {
+		panic("model: frame needs at least one chunk")
+	}
+	q := p.Q()
+	work := p.T + p.Tverif
+	if q >= 1 {
+		return float64(s)*work + p.Tcp
+	}
+	qs := math.Pow(q, float64(s))
+	if qs == 0 {
+		return math.Inf(1)
+	}
+	return p.Tcp + (1/qs-1)*p.Trec + work*(1-qs)/(qs*(1-q))
+}
+
+// Overhead returns the expected time per unit of useful work,
+// E(s,T)/(s·T) — the objective of Eq. (6). Lower is better; 1 would be
+// fault-free execution with zero resilience cost.
+func (p Params) Overhead(s int) float64 {
+	return p.FrameTime(s) / (float64(s) * p.T)
+}
+
+// OptimalS minimises the overhead over 1 ≤ s ≤ maxS (Eq. (6) must be solved
+// numerically, as the paper notes). The overhead is unimodal in s for the
+// regimes of interest, but we scan exhaustively — the range is small and
+// correctness beats cleverness here.
+func (p Params) OptimalS(maxS int) (s int, overhead float64) {
+	if maxS < 1 {
+		maxS = 1
+	}
+	best, bestS := math.Inf(1), 1
+	for cand := 1; cand <= maxS; cand++ {
+		if o := p.Overhead(cand); o < best {
+			best, bestS = o, cand
+		}
+	}
+	return bestS, best
+}
+
+// OnlineParams describes the Online-Detection scheme before its chunk
+// length is chosen: a chunk is d iterations of cost Titer each, followed by
+// a verification.
+type OnlineParams struct {
+	Titer  float64
+	Tverif float64
+	Tcp    float64
+	Trec   float64
+	Lambda float64
+}
+
+// Optimal jointly minimises the overhead over the verification interval d
+// and checkpoint interval s (the paper instantiates Eq. (6) with T = d·Titer
+// for Chen's method, Section 4.2.1).
+func (o OnlineParams) Optimal(maxD, maxS int) (d, s int, overhead float64) {
+	if maxD < 1 {
+		maxD = 1
+	}
+	best := math.Inf(1)
+	bestD, bestS := 1, 1
+	for cd := 1; cd <= maxD; cd++ {
+		p := Params{
+			T:      float64(cd) * o.Titer,
+			Tverif: o.Tverif,
+			Tcp:    o.Tcp,
+			Trec:   o.Trec,
+			Lambda: o.Lambda,
+		}
+		cs, ov := p.OptimalS(maxS)
+		if ov < best {
+			best, bestD, bestS = ov, cd, cs
+		}
+	}
+	return bestD, bestS, best
+}
+
+// YoungPeriod returns Young's first-order approximation of the optimal
+// checkpoint period W (time of useful work between checkpoints) for pure
+// periodic checkpointing: W = sqrt(2·Tcp/λ).
+func YoungPeriod(tcp, lambda float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * tcp / lambda)
+}
+
+// DalyPeriod returns Daly's higher-order estimate of the optimal checkpoint
+// period: sqrt(2·Tcp·(1/λ + Trec)) − Tcp (clamped to be positive).
+func DalyPeriod(tcp, trec, lambda float64) float64 {
+	if lambda <= 0 {
+		return math.Inf(1)
+	}
+	w := math.Sqrt(2*tcp*(1/lambda+trec)) - tcp
+	if w < tcp {
+		w = tcp
+	}
+	return w
+}
+
+// ExpectedExecutionTime returns the model's prediction for executing
+// `iters` iterations under the scheme: the number of frames times the
+// expected frame time, with a partial last frame prorated. chunkIters is
+// the number of iterations per chunk (d for Online-Detection, 1 for ABFT).
+func ExpectedExecutionTime(p Params, s, chunkIters, iters int) float64 {
+	if iters <= 0 {
+		return 0
+	}
+	chunks := (iters + chunkIters - 1) / chunkIters
+	frames := chunks / s
+	rem := chunks % s
+	t := float64(frames) * p.FrameTime(s)
+	if rem > 0 {
+		t += p.FrameTime(rem)
+	}
+	return t
+}

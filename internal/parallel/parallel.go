@@ -1,0 +1,265 @@
+// Package parallel implements the row-block decomposed, ABFT-protected
+// sparse matrix–vector product sketched in the paper's introduction: in a
+// message-passing implementation each processing element owns a block of
+// matrix rows and computes its slice of the output; "performing error
+// detection and correction locally implies global error detection and
+// correction for the SpMxV", with the local blocks being rectangular in
+// general.
+//
+// Here the processing elements are goroutines. Each block carries its own
+// weighted column checksums (computed over the block's rows, i.e. the
+// rectangular local matrix), verifies its slice of the product
+// independently, and repairs local single errors exactly like the global
+// decoder — so k simultaneous errors in k distinct blocks are all corrected
+// forward, strictly more than the single global error the sequential scheme
+// handles.
+package parallel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/checksum"
+	"repro/internal/sparse"
+)
+
+// Block is one row block of the decomposition with its local checksums.
+type Block struct {
+	// Row0 is the first global row of the block; the block covers rows
+	// [Row0, Row0+Rows).
+	Row0, Rows int
+
+	// c1, c2 are the local column checksums Σ_{i∈block} w_r[i−Row0]·a[i][j]
+	// (local weights 1 and 1..rows, exactly the rectangular-block encoding).
+	c1, c2 []float64
+	// cr1, cr2 checksum the block's slice of Rowidx.
+	cr1, cr2 float64
+}
+
+// Protected is a matrix partitioned into row blocks with per-block
+// checksum protection.
+type Protected struct {
+	A      *sparse.CSR
+	blocks []Block
+}
+
+// Outcome aggregates the per-block verification results.
+type Outcome struct {
+	Detected    bool
+	Corrected   bool // true only if every detecting block corrected locally
+	BlockErrors []int
+}
+
+// New partitions a into nblocks row blocks of near-equal size and computes
+// the local checksums. a must be fault-free at this moment.
+func New(a *sparse.CSR, nblocks int) *Protected {
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	if nblocks > a.Rows {
+		nblocks = a.Rows
+	}
+	p := &Protected{A: a}
+	base := a.Rows / nblocks
+	rem := a.Rows % nblocks
+	row := 0
+	for bi := 0; bi < nblocks; bi++ {
+		rows := base
+		if bi < rem {
+			rows++
+		}
+		b := Block{Row0: row, Rows: rows}
+		b.encode(a)
+		p.blocks = append(p.blocks, b)
+		row += rows
+	}
+	return p
+}
+
+// Blocks returns the number of blocks.
+func (p *Protected) Blocks() int { return len(p.blocks) }
+
+// encode computes the block's local checksums from the (trusted) matrix.
+func (b *Block) encode(a *sparse.CSR) {
+	b.c1 = make([]float64, a.Cols)
+	b.c2 = make([]float64, a.Cols)
+	b.cr1, b.cr2 = 0, 0
+	for i := 0; i < b.Rows; i++ {
+		gi := b.Row0 + i
+		w2 := float64(i + 1)
+		for k := a.Rowidx[gi]; k < a.Rowidx[gi+1]; k++ {
+			j := a.Colid[k]
+			v := a.Val[k]
+			b.c1[j] += v
+			b.c2[j] += w2 * v
+		}
+	}
+	for i := 0; i <= b.Rows; i++ {
+		v := float64(a.Rowidx[b.Row0+i])
+		b.cr1 += v
+		b.cr2 += float64(i+1) * v
+	}
+}
+
+// MulVec computes y ← Ax with one goroutine per block, each verifying (and
+// in-place repairing, when possible) its own slice. It returns the
+// aggregate outcome; on Detected && !Corrected the caller must roll back,
+// exactly like the sequential driver.
+func (p *Protected) MulVec(y, x []float64) Outcome {
+	if len(x) != p.A.Cols || len(y) != p.A.Rows {
+		panic(fmt.Sprintf("parallel: MulVec dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			p.A.Rows, p.A.Cols, len(x), len(y)))
+	}
+	results := make([]Outcome, len(p.blocks))
+	var wg sync.WaitGroup
+	for bi := range p.blocks {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			results[bi] = p.blocks[bi].mulVerify(p.A, y, x)
+		}(bi)
+	}
+	wg.Wait()
+
+	var out Outcome
+	out.Corrected = true
+	for bi, r := range results {
+		if r.Detected {
+			out.Detected = true
+			out.BlockErrors = append(out.BlockErrors, bi)
+			if !r.Corrected {
+				out.Corrected = false
+			}
+		}
+	}
+	if !out.Detected {
+		out.Corrected = false
+	}
+	return out
+}
+
+// mulVerify computes the block's slice of the product, verifies it against
+// the local checksums and attempts a local single-error repair.
+func (b *Block) mulVerify(a *sparse.CSR, y, x []float64) Outcome {
+	sr1, sr2 := b.computeSlice(a, y, x)
+
+	// Rowidx test (exact integers).
+	if sr1 != b.cr1 || sr2 != b.cr2 {
+		return Outcome{Detected: true}
+	}
+	d1, d2, tol1, tol2 := b.defects(y, x)
+	if abs(d1) <= tol1 && abs(d2) <= tol2 && finite(d1) && finite(d2) {
+		return Outcome{}
+	}
+
+	// Local repair: the defect pair localises the faulty local row.
+	if finite(d1) && finite(d2) && d1 != 0 {
+		pos := d2 / d1
+		ipos := int(pos + 0.5)
+		if absf(pos-float64(ipos)) <= maxf(1e-8*absf(pos), 0.05) && ipos >= 1 && ipos <= b.Rows {
+			gi := b.Row0 + ipos - 1
+			y[gi] = rowProduct(a, gi, x)
+			d1, d2, tol1, tol2 = b.defects(y, x)
+			if abs(d1) <= tol1 && abs(d2) <= tol2 {
+				return Outcome{Detected: true, Corrected: true}
+			}
+		}
+	}
+	return Outcome{Detected: true}
+}
+
+// computeSlice runs the robust product over the block's rows, returning the
+// running Rowidx checksums.
+func (b *Block) computeSlice(a *sparse.CSR, y, x []float64) (sr1, sr2 float64) {
+	nnz := len(a.Val)
+	for i := 0; i <= b.Rows; i++ {
+		v := float64(a.Rowidx[b.Row0+i])
+		sr1 += v
+		sr2 += float64(i+1) * v
+	}
+	for i := 0; i < b.Rows; i++ {
+		gi := b.Row0 + i
+		lo, hi := a.Rowidx[gi], a.Rowidx[gi+1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nnz {
+			hi = nnz
+		}
+		var s float64
+		for k := lo; k < hi; k++ {
+			if ind := a.Colid[k]; uint(ind) < uint(len(x)) {
+				s += a.Val[k] * x[ind]
+			}
+		}
+		y[gi] = s
+	}
+	return sr1, sr2
+}
+
+// defects compares the block's output slice against the local column
+// checksums applied to x, with a norm-based tolerance.
+func (b *Block) defects(y, x []float64) (d1, d2, tol1, tol2 float64) {
+	var s1, s2 float64
+	for i := 0; i < b.Rows; i++ {
+		v := y[b.Row0+i]
+		s1 += v
+		s2 += float64(i+1) * v
+	}
+	var c1x, c2x, absScale float64
+	for j, xj := range x {
+		c1x += b.c1[j] * xj
+		c2x += b.c2[j] * xj
+		if a := absf(b.c1[j] * xj); a > absScale {
+			absScale = a
+		}
+	}
+	var yScale float64
+	for i := 0; i < b.Rows; i++ {
+		if a := absf(y[b.Row0+i]); a > yScale {
+			yScale = a
+		}
+	}
+	n := float64(len(x) + b.Rows)
+	g := 8 * checksum.Gamma(2*(len(x)+b.Rows))
+	tol1 = g * n * (absScale + yScale)
+	tol2 = g * n * float64(b.Rows) * (absScale + yScale)
+	d1 = s1 - c1x
+	d2 = s2 - c2x
+	return
+}
+
+func rowProduct(a *sparse.CSR, i int, x []float64) float64 {
+	lo, hi := a.Rowidx[i], a.Rowidx[i+1]
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a.Val) {
+		hi = len(a.Val)
+	}
+	var s float64
+	for k := lo; k < hi; k++ {
+		if ind := a.Colid[k]; uint(ind) < uint(len(x)) {
+			s += a.Val[k] * x[ind]
+		}
+	}
+	return s
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func absf(v float64) float64 { return abs(v) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func finite(v float64) bool { return v == v && v < 1e308 && v > -1e308 }

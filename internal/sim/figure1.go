@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Figure 1 of the paper plots, for each suite matrix, the average execution
+// time of the three methods (Online-Detection dotted, ABFT-Detection
+// dashed, ABFT-Correction solid) against the normalised mean time between
+// failures x = 1/α, swept over [1e2, 1e4]. Each point averages 50 runs at
+// the model-optimal intervals for that scheme and fault rate.
+
+// Figure1Config parameterises the sweep.
+type Figure1Config struct {
+	// Scale downscales the suite matrices.
+	Scale int
+	// Reps is the repetitions per point (the paper uses 50).
+	Reps int
+	// MTBFs are the normalised MTBF values 1/α; nil means a 7-point log
+	// grid over [1e2, 1e4].
+	MTBFs []float64
+	// Tol is the solver tolerance (default 1e-8).
+	Tol float64
+	// Seed bases the deterministic seeding.
+	Seed int64
+	// Progress, when non-nil, receives status lines.
+	Progress Progress
+}
+
+func (c Figure1Config) withDefaults() Figure1Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 50
+	}
+	if len(c.MTBFs) == 0 {
+		c.MTBFs = LogSpace(1e2, 1e4, 7)
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	return c
+}
+
+// Figure1Point is one (MTBF, scheme) cell: the mean execution time and the
+// spread over the repetitions.
+type Figure1Point struct {
+	MTBF     float64
+	Mean     float64
+	CI95     float64
+	Failures int
+}
+
+// Figure1Series is one subplot: a matrix with one time series per scheme.
+type Figure1Series struct {
+	ID     int
+	N      int
+	Points map[core.Scheme][]Figure1Point
+}
+
+// RunFigure1 reproduces the paper's Figure 1 on the given suite.
+func RunFigure1(cfg Figure1Config, suite []SuiteMatrix) []Figure1Series {
+	cfg = cfg.withDefaults()
+	out := make([]Figure1Series, 0, len(suite))
+	for mi, sm := range suite {
+		a := sm.Generate(cfg.Scale)
+		b, _ := RHS(a, cfg.Seed+int64(sm.ID))
+		series := Figure1Series{ID: sm.ID, N: a.Rows, Points: make(map[core.Scheme][]Figure1Point)}
+		for _, scheme := range core.Schemes {
+			for xi, x := range cfg.MTBFs {
+				alpha := 1 / x
+				report(cfg.Progress, "figure1: matrix #%d (%d/%d) %v MTBF=%.0f",
+					sm.ID, mi+1, len(suite), scheme, x)
+				seed := cfg.Seed + int64(mi*100000+int(scheme)*10000+xi*100)
+				mean, samples, failures := AverageTime(a, b, scheme, alpha, 0, 0, cfg.Tol, seed, cfg.Reps)
+				_, ci := MeanCI(samples)
+				series.Points[scheme] = append(series.Points[scheme], Figure1Point{
+					MTBF: x, Mean: mean, CI95: ci, Failures: failures,
+				})
+			}
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// WriteFigure1CSV emits the sweep as CSV: matrix, scheme, mtbf, mean, ci95,
+// failures. One file feeds all nine subplots.
+func WriteFigure1CSV(w io.Writer, series []Figure1Series) error {
+	if _, err := fmt.Fprintln(w, "matrix,n,scheme,mtbf,mean_time,ci95,failures"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, scheme := range core.Schemes {
+			for _, pt := range s.Points[scheme] {
+				if _, err := fmt.Fprintf(w, "%d,%d,%s,%.6g,%.6g,%.6g,%d\n",
+					s.ID, s.N, scheme, pt.MTBF, pt.Mean, pt.CI95, pt.Failures); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WriteFigure1Text renders one aligned text block per matrix — the textual
+// equivalent of the paper's 3×3 subplot grid.
+func WriteFigure1Text(w io.Writer, series []Figure1Series) error {
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "Matrix #%d (n = %d)\n", s.ID, s.N); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  %12s %18s %18s %18s\n", "MTBF (1/a)",
+			core.OnlineDetection, core.ABFTDetection, core.ABFTCorrection); err != nil {
+			return err
+		}
+		online := s.Points[core.OnlineDetection]
+		det := s.Points[core.ABFTDetection]
+		cor := s.Points[core.ABFTCorrection]
+		for i := range online {
+			if _, err := fmt.Fprintf(w, "  %12.0f %18.4f %18.4f %18.4f\n",
+				online[i].MTBF, online[i].Mean, det[i].Mean, cor[i].Mean); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sparse"
+)
+
+// RunOnce executes one resilient solve with a fresh injector and returns
+// its statistics. s and d override the model-optimal intervals when > 0.
+func RunOnce(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, seed int64) (core.Stats, error) {
+	var inj *fault.Injector
+	if alpha > 0 {
+		inj = fault.New(fault.Config{Alpha: alpha, Seed: seed})
+	}
+	_, st, err := core.Solve(a, b, core.Config{
+		Scheme:   scheme,
+		S:        s,
+		D:        d,
+		Tol:      tol,
+		Injector: inj,
+	})
+	return st, err
+}
+
+// AverageTime runs `reps` independent solves (distinct injector seeds) and
+// returns the mean simulated execution time and the raw samples. Runs that
+// fail to converge are charged at their (large) accumulated time — exactly
+// what an operator would experience — and counted.
+func AverageTime(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, baseSeed int64, reps int) (mean float64, samples []float64, failures int) {
+	samples = make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		st, err := RunOnce(a, b, scheme, alpha, s, d, tol, baseSeed+int64(rep)*7919)
+		if err != nil {
+			failures++
+		}
+		samples = append(samples, st.SimTime)
+	}
+	return Mean(samples), samples, failures
+}
+
+// Progress is an optional hook the long-running experiments call with a
+// human-readable status line; nil disables reporting.
+type Progress func(format string, args ...any)
+
+func report(p Progress, format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}

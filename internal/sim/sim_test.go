@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSuiteProperties(t *testing.T) {
+	if len(PaperSuite) != 9 {
+		t.Fatalf("suite has %d matrices, the paper uses 9", len(PaperSuite))
+	}
+	for _, sm := range PaperSuite {
+		if sm.N < 17456 || sm.N > 74752 {
+			t.Errorf("#%d: n = %d outside the paper's range", sm.ID, sm.N)
+		}
+		if sm.Density >= 1e-2 {
+			t.Errorf("#%d: density %v not below 1e-2", sm.ID, sm.Density)
+		}
+	}
+}
+
+func TestSuiteByID(t *testing.T) {
+	m, ok := SuiteByID(341)
+	if !ok || m.N != 23052 {
+		t.Fatal("SuiteByID(341) wrong")
+	}
+	if _, ok := SuiteByID(1); ok {
+		t.Fatal("unknown id must return false")
+	}
+}
+
+func TestGeneratePreservesRowProfile(t *testing.T) {
+	sm := PaperSuite[0] // #341: ~50 nnz/row
+	full := float64(sm.N) * sm.Density
+	a := sm.Generate(32)
+	got := float64(a.NNZ()) / float64(a.Rows)
+	if got < full/3 || got > full*3 {
+		t.Fatalf("scaled nnz/row = %v, want ≈ %v", got, full)
+	}
+	if !a.IsSymmetric(0) {
+		t.Fatal("generated matrix must be symmetric")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := PaperSuite[3].Generate(64)
+	b := PaperSuite[3].Generate(64)
+	if !a.Equal(b) {
+		t.Fatal("suite generation not deterministic")
+	}
+}
+
+func TestRHSDeterministic(t *testing.T) {
+	a := PaperSuite[8].Generate(64)
+	b1, x1 := RHS(a, 5)
+	b2, x2 := RHS(a, 5)
+	for i := range b1 {
+		if b1[i] != b2[i] || x1[i] != x2[i] {
+			t.Fatal("RHS not deterministic")
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Mean(xs) != 2.5 {
+		t.Fatal("Mean wrong")
+	}
+	if math.Abs(StdDev(xs)-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("degenerate stats wrong")
+	}
+	m, ci := MeanCI(xs)
+	if m != 2.5 || ci <= 0 {
+		t.Fatal("MeanCI wrong")
+	}
+	if Min(xs) != 1 || Min(nil) != 0 {
+		t.Fatal("Min wrong")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(100, 10000, 3)
+	want := []float64{100, 1000, 10000}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("LogSpace = %v", xs)
+		}
+	}
+	if len(LogSpace(1, 10, 1)) != 1 {
+		t.Fatal("k=1 must return single point")
+	}
+}
+
+func TestRunOnceFaultFree(t *testing.T) {
+	a := PaperSuite[8].Generate(64) // smallest after scaling
+	b, _ := RHS(a, 1)
+	st, err := RunOnce(a, b, core.ABFTCorrection, 0, 0, 0, 1e-8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Rollbacks != 0 {
+		t.Fatalf("fault-free run: %+v", st)
+	}
+}
+
+func TestAverageTimePaired(t *testing.T) {
+	a := PaperSuite[8].Generate(64)
+	b, _ := RHS(a, 2)
+	m1, s1, _ := AverageTime(a, b, core.ABFTDetection, 0.05, 5, 1, 1e-8, 7, 3)
+	m2, s2, _ := AverageTime(a, b, core.ABFTDetection, 0.05, 5, 1, 1e-8, 7, 3)
+	if m1 != m2 || len(s1) != len(s2) {
+		t.Fatal("AverageTime not deterministic for equal seeds")
+	}
+	if len(s1) != 3 {
+		t.Fatalf("want 3 samples, got %d", len(s1))
+	}
+}
+
+func TestSGridContainsModelValueAndNeighborhood(t *testing.T) {
+	g := sGrid(12)
+	has := func(v int) bool {
+		for _, x := range g {
+			if x == v {
+				return true
+			}
+		}
+		return false
+	}
+	for _, v := range []int{1, 3, 6, 12, 24, 48} {
+		if !has(v) {
+			t.Fatalf("grid %v missing %d", g, v)
+		}
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i-1] >= g[i] {
+			t.Fatal("grid not sorted/deduped")
+		}
+	}
+}
+
+func TestRunTable1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 smoke is slow")
+	}
+	rows := RunTable1(Table1Config{Scale: 80, Reps: 3, Seed: 1}, PaperSuite[8:9])
+	if len(rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows))
+	}
+	r := rows[0]
+	if r.Det.STilde < 1 || r.Cor.STilde < 1 {
+		t.Fatalf("degenerate model intervals: %+v", r)
+	}
+	if r.Det.EtTilde <= 0 || r.Cor.EtStar <= 0 {
+		t.Fatalf("missing execution times: %+v", r)
+	}
+	// By construction Et(s*) ≤ Et(s̃), so the loss is non-negative.
+	if r.Det.LossPct < 0 || r.Cor.LossPct < 0 {
+		t.Fatalf("negative loss: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2213") {
+		t.Fatal("table output missing matrix id")
+	}
+}
+
+func TestRunFigure1Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure1 smoke is slow")
+	}
+	series := RunFigure1(Figure1Config{
+		Scale: 80, Reps: 2, MTBFs: []float64{1e2, 1e4}, Seed: 2,
+	}, PaperSuite[8:9])
+	if len(series) != 1 {
+		t.Fatal("want 1 series")
+	}
+	s := series[0]
+	for _, scheme := range core.Schemes {
+		pts := s.Points[scheme]
+		if len(pts) != 2 {
+			t.Fatalf("%v: %d points", scheme, len(pts))
+		}
+		for _, p := range pts {
+			if p.Mean <= 0 {
+				t.Fatalf("%v: non-positive time %+v", scheme, p)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure1CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ABFT-Correction") {
+		t.Fatal("CSV missing scheme name")
+	}
+	buf.Reset()
+	if err := WriteFigure1Text(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Matrix #2213") {
+		t.Fatal("text output missing matrix header")
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Table 1 of the paper validates the performance model: for each suite
+// matrix and for both ABFT schemes, it compares the model-chosen checkpoint
+// interval s̃ (Eq. (6)) against the empirically best interval s* found by
+// simulation, reporting the average execution times Et(s̃) and Et(s*) over
+// 50 repetitions and the relative loss lᵢ = (Et(s̃) − Et(s*))/Et(s*)·100.
+// The fault rate is λ = 1/(16·M), i.e. α = 1/16 expected faults per
+// iteration.
+
+// Table1Config parameterises the experiment.
+type Table1Config struct {
+	// Scale downscales the suite matrices (1 = full size; tests and benches
+	// use 16–64). Cost *ratios* are scale-invariant by construction.
+	Scale int
+	// Reps is the number of repetitions per (matrix, scheme, s) cell
+	// (the paper uses 50).
+	Reps int
+	// Alpha is the expected faults per iteration (default 1/16).
+	Alpha float64
+	// Tol is the solver tolerance (default 1e-8).
+	Tol float64
+	// Seed bases the deterministic seeding.
+	Seed int64
+	// Progress, when non-nil, receives status lines.
+	Progress Progress
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Reps == 0 {
+		c.Reps = 50
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.0 / 16
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	return c
+}
+
+// SchemeEval holds the Table-1 cells for one scheme on one matrix.
+type SchemeEval struct {
+	STilde  int     // model-chosen checkpoint interval s̃
+	EtTilde float64 // average execution time at s̃
+	SStar   int     // empirically best interval s*
+	EtStar  float64 // average execution time at s*
+	LossPct float64 // l = (Et(s̃) − Et(s*)) / Et(s*) · 100
+}
+
+// Table1Row is one row of the reproduced table.
+type Table1Row struct {
+	ID      int
+	N       int // scaled dimension actually used
+	Density float64
+	Det     SchemeEval // ABFT-Detection  (columns s̃₁ … l₁)
+	Cor     SchemeEval // ABFT-Correction (columns s̃₂ … l₂)
+}
+
+// RunTable1 reproduces the paper's Table 1 on the given suite.
+func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
+	cfg = cfg.withDefaults()
+	rows := make([]Table1Row, 0, len(suite))
+	for mi, sm := range suite {
+		a := sm.Generate(cfg.Scale)
+		b, _ := RHS(a, cfg.Seed+int64(sm.ID))
+		row := Table1Row{ID: sm.ID, N: a.Rows, Density: a.Density()}
+
+		for si, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
+			report(cfg.Progress, "table1: matrix #%d (%d/%d) scheme %v", sm.ID, mi+1, len(suite), scheme)
+			eval := evalScheme(cfg, a, b, scheme, cfg.Seed+int64(mi*1000+si*100))
+			if scheme == core.ABFTDetection {
+				row.Det = eval
+			} else {
+				row.Cor = eval
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// evalScheme computes the model interval s̃, scans a grid of intervals for
+// the empirically best s* and fills the evaluation cells. The same injector
+// seeds are reused across all candidate intervals, so the comparison is
+// paired (common random numbers), like rerunning the same fault trace.
+func evalScheme(cfg Table1Config, a *sparse.CSR, b []float64, scheme core.Scheme, seed int64) SchemeEval {
+	_, sTilde := core.OptimalIntervals(a, scheme, cfg.Alpha, core.DefaultCostParams())
+
+	grid := sGrid(sTilde)
+	var eval SchemeEval
+	eval.STilde = sTilde
+	bestTime, bestS := 0.0, 0
+	for _, s := range grid {
+		mean, _, _ := AverageTime(a, b, scheme, cfg.Alpha, s, 1, cfg.Tol, seed, cfg.Reps)
+		if s == sTilde {
+			eval.EtTilde = mean
+		}
+		if bestS == 0 || mean < bestTime {
+			bestTime, bestS = mean, s
+		}
+	}
+	eval.SStar = bestS
+	eval.EtStar = bestTime
+	if eval.EtStar > 0 {
+		eval.LossPct = (eval.EtTilde - eval.EtStar) / eval.EtStar * 100
+	}
+	return eval
+}
+
+// sGrid returns the candidate checkpoint intervals scanned for s*: a
+// geometric-ish neighbourhood of the model value plus the small constants,
+// deduplicated and sorted.
+func sGrid(sTilde int) []int {
+	set := map[int]bool{sTilde: true, 1: true, 2: true}
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.25, 1.5, 2, 3, 4} {
+		s := int(float64(sTilde)*f + 0.5)
+		if s >= 1 {
+			set[s] = true
+		}
+	}
+	grid := make([]int, 0, len(set))
+	for s := range set {
+		grid = append(grid, s)
+	}
+	sort.Ints(grid)
+	return grid
+}
+
+// WriteTable1 renders the rows in the layout of the paper's Table 1.
+func WriteTable1(w io.Writer, rows []Table1Row) error {
+	if _, err := fmt.Fprintf(w, "%6s %8s %10s | %5s %10s %5s %10s %7s | %5s %10s %5s %10s %7s\n",
+		"id", "n", "density",
+		"s~1", "Et(s~1)", "s*1", "Et(s*1)", "l1(%)",
+		"s~2", "Et(s~2)", "s*2", "Et(s*2)", "l2(%)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%6d %8d %10.2e | %5d %10.4f %5d %10.4f %7.2f | %5d %10.4f %5d %10.4f %7.2f\n",
+			r.ID, r.N, r.Density,
+			r.Det.STilde, r.Det.EtTilde, r.Det.SStar, r.Det.EtStar, r.Det.LossPct,
+			r.Cor.STilde, r.Cor.EtTilde, r.Cor.SStar, r.Cor.EtStar, r.Cor.LossPct); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// GMRESOptions extends Options with the restart length.
+type GMRESOptions struct {
+	Options
+	// Restart is the Krylov basis size m of GMRES(m); 0 means 30.
+	Restart int
+}
+
+// GMRES solves Ax = b for general A using restarted GMRES with modified
+// Gram–Schmidt orthogonalisation and Givens rotations for the least-squares
+// update. Heroux and Hoemmen's fault-tolerant GMRES is the related-work
+// anchor the paper cites for selective reliability; this baseline lets the
+// repository exercise the protection scheme on a long-recurrence method.
+func GMRES(a *sparse.CSR, b []float64, opt GMRESOptions) (Result, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return Result{}, fmt.Errorf("solver: GMRES dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
+	}
+	opt.Options = opt.Options.withDefaults(n)
+	m := opt.Restart
+	if m <= 0 {
+		m = 30
+	}
+	if m > n {
+		m = n
+	}
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+
+	r := make([]float64, n)
+	tmp := make([]float64, n)
+	res := Result{X: x}
+
+	// Krylov basis and Hessenberg storage, reused across restarts.
+	v := make([][]float64, m+1)
+	for i := range v {
+		v[i] = make([]float64, n)
+	}
+	h := make([][]float64, m+1)
+	for i := range h {
+		h[i] = make([]float64, m)
+	}
+	cs := make([]float64, m)
+	sn := make([]float64, m)
+	g := make([]float64, m+1)
+
+	totalIters := 0
+	for totalIters < opt.MaxIter {
+		// r = b − Ax; restart from the true residual.
+		a.MulVec(tmp, x)
+		vec.Sub(r, b, tmp)
+		beta := vec.Norm2(r)
+		if opt.RecordResiduals {
+			res.Residuals = append(res.Residuals, beta)
+		}
+		if beta <= opt.Tol*normB {
+			res.Iterations = totalIters
+			res.Converged = true
+			res.Residual = beta
+			return res, nil
+		}
+
+		vec.Copy(v[0], r)
+		vec.Scale(1/beta, v[0])
+		for i := range g {
+			g[i] = 0
+		}
+		g[0] = beta
+
+		k := 0 // columns built this cycle
+		for ; k < m && totalIters < opt.MaxIter; k++ {
+			totalIters++
+			// Arnoldi step with modified Gram–Schmidt.
+			w := v[k+1]
+			a.MulVec(w, v[k])
+			for i := 0; i <= k; i++ {
+				h[i][k] = vec.Dot(w, v[i])
+				vec.Axpy(-h[i][k], v[i], w)
+			}
+			h[k+1][k] = vec.Norm2(w)
+			if h[k+1][k] > 0 {
+				vec.Scale(1/h[k+1][k], w)
+			}
+
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			// New rotation to annihilate h[k+1][k].
+			denom := math.Hypot(h[k][k], h[k+1][k])
+			if denom == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k] = h[k][k] / denom
+				sn[k] = h[k+1][k] / denom
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+
+			if opt.RecordResiduals {
+				res.Residuals = append(res.Residuals, math.Abs(g[k+1]))
+			}
+			if math.Abs(g[k+1]) <= opt.Tol*normB {
+				k++
+				break
+			}
+		}
+
+		// Solve the upper-triangular system h[0:k,0:k] y = g[0:k].
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("solver: GMRES breakdown (singular Hessenberg) at iteration %d", totalIters)
+			}
+			y[i] = s / h[i][i]
+		}
+		for j := 0; j < k; j++ {
+			vec.Axpy(y[j], v[j], x)
+		}
+		res.Iterations = totalIters
+	}
+
+	res.Residual = trueResidual(a, x, b)
+	res.Converged = res.Residual <= opt.Tol*normB
+	if !res.Converged {
+		return res, fmt.Errorf("%w: GMRES after %d iterations, ‖r‖/‖b‖ = %.3e",
+			ErrNotConverged, res.Iterations, res.Residual/normB)
+	}
+	return res, nil
+}

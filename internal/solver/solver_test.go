@@ -1,0 +1,276 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// manufactured returns (A, b, xTrue) with b = A·xTrue for a known solution.
+func manufactured(a *sparse.CSR, seed int64) (b, xTrue []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := a.Rows
+	xTrue = make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b = make([]float64, n)
+	a.MulVec(b, xTrue)
+	return b, xTrue
+}
+
+func checkSolution(t *testing.T, a *sparse.CSR, x, xTrue, b []float64, tol float64) {
+	t.Helper()
+	if d := vec.MaxAbsDiff(x, xTrue); d > tol*(1+vec.NormInf(xTrue)) {
+		t.Fatalf("solution error %v exceeds %v", d, tol)
+	}
+	r := make([]float64, len(b))
+	a.MulVec(r, x)
+	vec.Sub(r, b, r)
+	if rn := vec.Norm2(r); rn > tol*vec.Norm2(b) {
+		t.Fatalf("residual %v exceeds %v·‖b‖", rn, tol)
+	}
+}
+
+func TestCGPoisson2D(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	b, xTrue := manufactured(a, 1)
+	res, err := CG(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("not converged")
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-6)
+}
+
+func TestCGTridiag(t *testing.T) {
+	a := sparse.Tridiag(100, 2, -1)
+	b, xTrue := manufactured(a, 2)
+	res, err := CG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-5)
+}
+
+func TestCGRandomSPD(t *testing.T) {
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: 300, Density: 0.05, DiagShift: 0.5, Seed: 3})
+	b, xTrue := manufactured(a, 3)
+	res, err := CG(a, b, Options{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-7)
+	if res.Iterations <= 1 {
+		t.Fatal("suspiciously fast convergence")
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := sparse.Tridiag(50, 2, -1)
+	b := make([]float64, 50)
+	res, err := CG(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Norm2(res.X) != 0 {
+		t.Fatal("zero rhs must give zero solution from zero guess")
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	a := sparse.Poisson2D(15, 15)
+	b, xTrue := manufactured(a, 4)
+	// Start from the exact solution: 0 iterations.
+	res, err := CG(a, b, Options{X0: xTrue})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("warm start took %d iterations", res.Iterations)
+	}
+}
+
+func TestCGRecordsResiduals(t *testing.T) {
+	a := sparse.Poisson2D(10, 10)
+	b, _ := manufactured(a, 5)
+	res, err := CG(a, b, Options{RecordResiduals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Residuals) == 0 {
+		t.Fatal("no residual history")
+	}
+	// Residuals should shrink overall: last well below the first.
+	if res.Residuals[len(res.Residuals)-1] > 1e-6*res.Residuals[0] {
+		t.Fatal("residual history did not decrease")
+	}
+}
+
+func TestCGMaxIterError(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	b, _ := manufactured(a, 6)
+	_, err := CG(a, b, Options{Tol: 1e-14, MaxIter: 2})
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestCGDimensionMismatch(t *testing.T) {
+	a := sparse.Poisson2D(4, 4)
+	if _, err := CG(a, make([]float64, 3), Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCGNonSPDBreakdown(t *testing.T) {
+	// Indefinite matrix: CG must report breakdown, not loop.
+	a := sparse.Dense(2, 2, []float64{1, 0, 0, -1})
+	b := []float64{1, 1}
+	if _, err := CG(a, b, Options{}); err == nil {
+		t.Fatal("expected breakdown error on indefinite matrix")
+	}
+}
+
+func TestPCGPoisson(t *testing.T) {
+	a := sparse.Poisson2D(20, 20)
+	b, xTrue := manufactured(a, 7)
+	res, err := PCG(a, b, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-6)
+}
+
+func TestPCGBeatsOrMatchesCGOnSkewedDiagonal(t *testing.T) {
+	// Jacobi helps when the diagonal is badly scaled.
+	n := 200
+	c := sparse.NewCOO(n, n)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < n; i++ {
+		scale := math.Pow(10, 4*rng.Float64()) // diagonal spread 1..1e4
+		c.Add(i, i, scale)
+		if i > 0 {
+			c.AddSym(i, i-1, -0.1)
+		}
+	}
+	a := c.ToCSR()
+	b, _ := manufactured(a, 9)
+	cg, err1 := CG(a, b, Options{Tol: 1e-10, MaxIter: 5000})
+	pcg, err2 := PCG(a, b, Options{Tol: 1e-10, MaxIter: 5000})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v, %v", err1, err2)
+	}
+	if pcg.Iterations > cg.Iterations {
+		t.Fatalf("PCG (%d iters) slower than CG (%d iters) on skewed diagonal", pcg.Iterations, cg.Iterations)
+	}
+}
+
+func TestPCGZeroDiagonal(t *testing.T) {
+	a := sparse.Dense(2, 2, []float64{0, 1, 1, 0})
+	if _, err := PCG(a, []float64{1, 1}, Options{}); err == nil {
+		t.Fatal("expected zero-diagonal error")
+	}
+}
+
+func TestBiCGstabNonsymmetric(t *testing.T) {
+	// Convection–diffusion style: Poisson plus a skew part.
+	base := sparse.Poisson2D(15, 15)
+	c := sparse.NewCOO(base.Rows, base.Cols)
+	for i := 0; i < base.Rows; i++ {
+		for k := base.Rowidx[i]; k < base.Rowidx[i+1]; k++ {
+			c.Add(i, base.Colid[k], base.Val[k])
+		}
+		if i+1 < base.Rows {
+			c.Add(i, i+1, 0.3)
+			c.Add(i+1, i, -0.3)
+		}
+	}
+	a := c.ToCSR()
+	b, xTrue := manufactured(a, 10)
+	res, err := BiCGstab(a, b, Options{Tol: 1e-10, MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-5)
+}
+
+func TestBiCGstabMatchesCGOnSPD(t *testing.T) {
+	a := sparse.Poisson2D(12, 12)
+	b, xTrue := manufactured(a, 11)
+	res, err := BiCGstab(a, b, Options{Tol: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-6)
+}
+
+func TestGMRESNonsymmetric(t *testing.T) {
+	base := sparse.Poisson2D(12, 12)
+	c := sparse.NewCOO(base.Rows, base.Cols)
+	for i := 0; i < base.Rows; i++ {
+		for k := base.Rowidx[i]; k < base.Rowidx[i+1]; k++ {
+			c.Add(i, base.Colid[k], base.Val[k])
+		}
+		if i+1 < base.Rows {
+			c.Add(i, i+1, 0.5)
+		}
+	}
+	a := c.ToCSR()
+	b, xTrue := manufactured(a, 12)
+	res, err := GMRES(a, b, GMRESOptions{Options: Options{Tol: 1e-10, MaxIter: 5000}, Restart: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-5)
+}
+
+func TestGMRESSmallRestart(t *testing.T) {
+	a := sparse.Poisson2D(10, 10)
+	b, xTrue := manufactured(a, 13)
+	res, err := GMRES(a, b, GMRESOptions{Options: Options{Tol: 1e-9, MaxIter: 20000}, Restart: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-4)
+}
+
+func TestGMRESExactAfterNSteps(t *testing.T) {
+	// Full GMRES (restart ≥ n) converges in at most n iterations.
+	n := 30
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.3, DiagShift: 1, Seed: 14})
+	b, xTrue := manufactured(a, 14)
+	res, err := GMRES(a, b, GMRESOptions{Options: Options{Tol: 1e-10, MaxIter: 10 * n}, Restart: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations > n+1 {
+		t.Fatalf("full GMRES took %d > n iterations", res.Iterations)
+	}
+	checkSolution(t, a, res.X, xTrue, b, 1e-5)
+}
+
+func TestAllSolversAgree(t *testing.T) {
+	a := sparse.Poisson2D(10, 10)
+	b, _ := manufactured(a, 15)
+	cg, err1 := CG(a, b, Options{Tol: 1e-11})
+	pcg, err2 := PCG(a, b, Options{Tol: 1e-11})
+	bi, err3 := BiCGstab(a, b, Options{Tol: 1e-11})
+	gm, err4 := GMRES(a, b, GMRESOptions{Options: Options{Tol: 1e-11, MaxIter: 5000}, Restart: 50})
+	for i, err := range []error{err1, err2, err3, err4} {
+		if err != nil {
+			t.Fatalf("solver %d: %v", i, err)
+		}
+	}
+	for _, other := range [][]float64{pcg.X, bi.X, gm.X} {
+		if d := vec.MaxAbsDiff(cg.X, other); d > 1e-6 {
+			t.Fatalf("solvers disagree by %v", d)
+		}
+	}
+}

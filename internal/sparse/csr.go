@@ -1,0 +1,330 @@
+// Package sparse implements the sparse-matrix substrate for the resilient
+// solvers: a CSR (compressed sparse row) matrix type, a COO assembly helper,
+// test-problem generators (Poisson stencils, graph Laplacians, banded random
+// SPD matrices) and Matrix Market I/O.
+//
+// The CSR layout follows the paper exactly: three arrays Val (nonzero
+// values), Colid (column index of each nonzero) and Rowidx (n+1 row
+// pointers). The ABFT scheme in internal/abft protects precisely these three
+// arrays, so they are exported fields rather than hidden behind accessors.
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// CSR is a sparse matrix in compressed sparse row format.
+//
+// Row i owns the nonzero range Val[Rowidx[i]:Rowidx[i+1]], with column
+// indices Colid[Rowidx[i]:Rowidx[i+1]]. Invariants (checked by Validate):
+// Rowidx is non-decreasing, Rowidx[0]==0, Rowidx[Rows]==len(Val),
+// len(Val)==len(Colid), and every Colid entry is in [0, Cols).
+type CSR struct {
+	Rows, Cols int
+	Val        []float64
+	Colid      []int
+	Rowidx     []int
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns nnz / (rows*cols).
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// MemoryWords returns the number of machine words occupied by the matrix
+// representation (Val + Colid + Rowidx), the quantity M entering the fault
+// rate λ = α/M in the paper's experiments.
+func (m *CSR) MemoryWords() int {
+	return len(m.Val) + len(m.Colid) + len(m.Rowidx)
+}
+
+// Validate checks the CSR structural invariants and returns a descriptive
+// error for the first violation found.
+func (m *CSR) Validate() error {
+	if m.Rows < 0 || m.Cols < 0 {
+		return fmt.Errorf("sparse: negative dimensions %dx%d", m.Rows, m.Cols)
+	}
+	if len(m.Rowidx) != m.Rows+1 {
+		return fmt.Errorf("sparse: len(Rowidx)=%d, want rows+1=%d", len(m.Rowidx), m.Rows+1)
+	}
+	if len(m.Val) != len(m.Colid) {
+		return fmt.Errorf("sparse: len(Val)=%d != len(Colid)=%d", len(m.Val), len(m.Colid))
+	}
+	if m.Rowidx[0] != 0 {
+		return fmt.Errorf("sparse: Rowidx[0]=%d, want 0", m.Rowidx[0])
+	}
+	if m.Rowidx[m.Rows] != len(m.Val) {
+		return fmt.Errorf("sparse: Rowidx[rows]=%d, want nnz=%d", m.Rowidx[m.Rows], len(m.Val))
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.Rowidx[i] > m.Rowidx[i+1] {
+			return fmt.Errorf("sparse: Rowidx decreases at row %d (%d > %d)", i, m.Rowidx[i], m.Rowidx[i+1])
+		}
+	}
+	for k, c := range m.Colid {
+		if c < 0 || c >= m.Cols {
+			return fmt.Errorf("sparse: Colid[%d]=%d out of range [0,%d)", k, c, m.Cols)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the matrix. The resilient drivers checkpoint
+// the matrix with Clone so that memory faults on A can be rolled back.
+func (m *CSR) Clone() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		Val:    make([]float64, len(m.Val)),
+		Colid:  make([]int, len(m.Colid)),
+		Rowidx: make([]int, len(m.Rowidx)),
+	}
+	copy(out.Val, m.Val)
+	copy(out.Colid, m.Colid)
+	copy(out.Rowidx, m.Rowidx)
+	return out
+}
+
+// CopyFrom restores the receiver's arrays from src without reallocating.
+// Panics if the shapes differ; rollback only ever restores like for like.
+func (m *CSR) CopyFrom(src *CSR) {
+	if m.Rows != src.Rows || m.Cols != src.Cols || len(m.Val) != len(src.Val) {
+		panic("sparse: CopyFrom shape mismatch")
+	}
+	copy(m.Val, src.Val)
+	copy(m.Colid, src.Colid)
+	copy(m.Rowidx, src.Rowidx)
+}
+
+// Equal reports whether two matrices are structurally and numerically
+// identical (NaNs compare equal to NaNs).
+func (m *CSR) Equal(o *CSR) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols || len(m.Val) != len(o.Val) || len(m.Rowidx) != len(o.Rowidx) {
+		return false
+	}
+	for i := range m.Rowidx {
+		if m.Rowidx[i] != o.Rowidx[i] {
+			return false
+		}
+	}
+	for i := range m.Colid {
+		if m.Colid[i] != o.Colid[i] {
+			return false
+		}
+	}
+	for i := range m.Val {
+		if m.Val[i] != o.Val[i] && !(math.IsNaN(m.Val[i]) && math.IsNaN(o.Val[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MulVec computes y ← Ax. y must have length Rows and x length Cols; y may
+// not alias x.
+func (m *CSR) MulVec(y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVec dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			s += m.Val[k] * x[m.Colid[k]]
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRobust computes y ← Ax tolerating a corrupted representation: row
+// pointer ranges are clamped to the valid nonzero range and out-of-range
+// column indices contribute nothing. The resilient drivers use it so that a
+// bit flip in Colid or Rowidx perturbs the result (to be caught by the
+// verification mechanism) instead of crashing the process.
+func (m *CSR) MulVecRobust(y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecRobust dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	nnz := len(m.Val)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.Rowidx[i], m.Rowidx[i+1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nnz {
+			hi = nnz
+		}
+		var s float64
+		for k := lo; k < hi; k++ {
+			if ind := m.Colid[k]; uint(ind) < uint(len(x)) {
+				s += m.Val[k] * x[ind]
+			}
+		}
+		y[i] = s
+	}
+}
+
+// MulVecRow recomputes the single output entry yᵢ = Σ_k Val[k]·x[Colid[k]]
+// for row i. The ABFT correction step uses it to repair corrupted rows
+// without redoing the whole product.
+func (m *CSR) MulVecRow(i int, x []float64) float64 {
+	var s float64
+	for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+		s += m.Val[k] * x[m.Colid[k]]
+	}
+	return s
+}
+
+// MulTransVec computes y ← Aᵀx. Needed by the CGNE/BiCG family the paper
+// names as further targets of the scheme.
+func (m *CSR) MulTransVec(y, x []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("sparse: MulTransVec dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			y[m.Colid[k]] += m.Val[k] * xi
+		}
+	}
+}
+
+// Norm1 returns ‖A‖₁ = max_j Σᵢ |aᵢⱼ| (maximum absolute column sum), the
+// norm entering the Theorem-2 rounding tolerance.
+func (m *CSR) Norm1() float64 {
+	colSums := make([]float64, m.Cols)
+	for k, v := range m.Val {
+		colSums[m.Colid[k]] += math.Abs(v)
+	}
+	var max float64
+	for _, s := range colSums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns ‖A‖∞ = maxᵢ Σⱼ |aᵢⱼ| (maximum absolute row sum).
+func (m *CSR) NormInf() float64 {
+	var max float64
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			s += math.Abs(m.Val[k])
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MaxColNNZ returns the maximum number of stored nonzeros in any column
+// (n' in the paper's accuracy discussion, Section 5.1).
+func (m *CSR) MaxColNNZ() int {
+	counts := make([]int, m.Cols)
+	for _, c := range m.Colid {
+		counts[c]++
+	}
+	var max int
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ColSums returns the vector of column sums cⱼ = Σᵢ aᵢⱼ, i.e. the unshifted
+// ones-weighted checksum row of the matrix.
+func (m *CSR) ColSums() []float64 {
+	sums := make([]float64, m.Cols)
+	for k, v := range m.Val {
+		sums[m.Colid[k]] += v
+	}
+	return sums
+}
+
+// Diag returns the diagonal entries of the matrix (zero where no stored
+// diagonal entry exists). Used by the Jacobi preconditioner.
+func (m *CSR) Diag() []float64 {
+	d := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			if m.Colid[k] == i {
+				d[i] = m.Val[k]
+				break
+			}
+		}
+	}
+	return d
+}
+
+// At returns A[i,j] by scanning row i. It is O(row nnz) and intended for
+// tests and error decoding, not inner loops.
+func (m *CSR) At(i, j int) float64 {
+	for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+		if m.Colid[k] == j {
+			return m.Val[k]
+		}
+	}
+	return 0
+}
+
+// IsSymmetric reports whether A equals Aᵀ up to tol in absolute value.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			j := m.Colid[k]
+			if math.Abs(m.Val[k]-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsDiagDominant reports whether |aᵢᵢ| ≥ Σ_{j≠i} |aᵢⱼ| for all rows, with
+// strict inequality in at least one row. Together with symmetry and positive
+// diagonal this certifies positive definiteness of the generated test
+// matrices.
+func (m *CSR) IsDiagDominant() bool {
+	strict := false
+	for i := 0; i < m.Rows; i++ {
+		var off, diag float64
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			if m.Colid[k] == i {
+				diag = math.Abs(m.Val[k])
+			} else {
+				off += math.Abs(m.Val[k])
+			}
+		}
+		if diag < off {
+			return false
+		}
+		if diag > off {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// FlopsMulVec returns the flop count of one SpMxV (a multiply and an add per
+// stored nonzero), used by the cost model: Titer is dominated by this.
+func (m *CSR) FlopsMulVec() int64 { return 2 * int64(m.NNZ()) }

@@ -1,0 +1,95 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := RandomSPD(RandomSPDOptions{N: 40, Density: 0.08, DiagShift: 1, Seed: 5})
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(got) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestReadSymmetric(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle of [2 -1; -1 2]
+2 2 3
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Tridiag(2, 2, -1)
+	if !m.Equal(want) {
+		t.Fatalf("symmetric expansion wrong: got %+v", m)
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 1
+2 3
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(1, 2) != 1 || m.NNZ() != 2 {
+		t.Fatalf("pattern read wrong: %+v", m)
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	src := `%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+
+1 1 1
+1 1 3.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 3.5 {
+		t.Fatal("comment skipping broken")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"badHeader":    "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
+		"badFormat":    "%%MatrixMarket matrix array real general\n1 1\n1\n",
+		"badField":     "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"badSymmetry":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"missingSize":  "%%MatrixMarket matrix coordinate real general\n",
+		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"outOfRange":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"badRowIndex":  "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"badValue":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
+		"shortEntries": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+				t.Fatalf("expected error for %s", name)
+			}
+		})
+	}
+}

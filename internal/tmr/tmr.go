@@ -1,0 +1,131 @@
+// Package tmr implements triple modular redundancy for the cheap vector
+// kernels of the solvers (dot products, norms, axpy updates), as prescribed
+// by the paper's Section 3: "As ABFT methods for vector operations is as
+// costly as a repeated computation, we use triple modular redundancy (TMR)
+// for them for simplicity … we compute the dots, norms and axpy operations
+// in the resilient mode."
+//
+// Each operation is executed three times and the results voted: two
+// matching replicas win. On deterministic hardware the three replicas are
+// bit-identical unless a transient fault strikes one of them; the Corrupt
+// hook lets tests and fault campaigns inject exactly such a transient into
+// a chosen replica.
+package tmr
+
+import "repro/internal/vec"
+
+// Executor runs vector kernels in triple modular redundancy.
+type Executor struct {
+	// Corrupt, when non-nil, is invoked once per replica with the replica
+	// index (0–2) and the scalar result or output vector, and may perturb it
+	// to simulate a transient computation fault in that replica.
+	Corrupt func(replica int, scalar *float64, vector []float64)
+
+	votes      int64
+	mismatches int64
+}
+
+// Stats reports how many votes were taken and how many had a dissenting
+// replica (i.e. a transient was outvoted).
+func (e *Executor) Stats() (votes, mismatches int64) { return e.votes, e.mismatches }
+
+// voteScalar returns the majority of three scalars; when all three differ it
+// returns the first (detectable by the caller comparing replicas — with
+// independent transients this is negligible, as the paper assumes).
+func (e *Executor) voteScalar(a, b, c float64) float64 {
+	e.votes++
+	if a == b || a == c {
+		if a != b || a != c {
+			e.mismatches++
+		}
+		return a
+	}
+	e.mismatches++
+	return b // b == c, or total disagreement
+}
+
+// Dot computes aᵀb with TMR.
+func (e *Executor) Dot(a, b []float64) float64 {
+	var r [3]float64
+	for i := 0; i < 3; i++ {
+		r[i] = vec.Dot(a, b)
+		if e.Corrupt != nil {
+			e.Corrupt(i, &r[i], nil)
+		}
+	}
+	return e.voteScalar(r[0], r[1], r[2])
+}
+
+// Norm2Sq computes ‖a‖₂² with TMR.
+func (e *Executor) Norm2Sq(a []float64) float64 {
+	var r [3]float64
+	for i := 0; i < 3; i++ {
+		r[i] = vec.Norm2Sq(a)
+		if e.Corrupt != nil {
+			e.Corrupt(i, &r[i], nil)
+		}
+	}
+	return e.voteScalar(r[0], r[1], r[2])
+}
+
+// Axpy computes y ← y + alpha·x with TMR: the three replica outputs are
+// voted element-wise into y.
+func (e *Executor) Axpy(alpha float64, x, y []float64) {
+	e.applyVoted(y, func(dst []float64) {
+		copy(dst, y)
+		vec.Axpy(alpha, x, dst)
+	})
+}
+
+// AxpyTo computes dst ← y + alpha·x with TMR.
+func (e *Executor) AxpyTo(dst []float64, alpha float64, x, y []float64) {
+	e.applyVoted(dst, func(out []float64) {
+		vec.AxpyTo(out, alpha, x, y)
+	})
+}
+
+// Xpay computes y ← x + alpha·y with TMR.
+func (e *Executor) Xpay(alpha float64, x, y []float64) {
+	e.applyVoted(y, func(dst []float64) {
+		copy(dst, y)
+		vec.Xpay(alpha, x, dst)
+	})
+}
+
+// applyVoted runs op into three replica buffers, corrupts them through the
+// hook, votes element-wise and writes the result into out.
+func (e *Executor) applyVoted(out []float64, op func(dst []float64)) {
+	n := len(out)
+	var bufs [3][]float64
+	for i := 0; i < 3; i++ {
+		bufs[i] = make([]float64, n)
+		op(bufs[i])
+		if e.Corrupt != nil {
+			e.Corrupt(i, nil, bufs[i])
+		}
+	}
+	e.votes++
+	dissent := false
+	for j := 0; j < n; j++ {
+		a, b, c := bufs[0][j], bufs[1][j], bufs[2][j]
+		switch {
+		case a == b || a == c:
+			if a != b || a != c {
+				dissent = true
+			}
+			out[j] = a
+		default:
+			dissent = true
+			out[j] = b
+		}
+	}
+	if dissent {
+		e.mismatches++
+	}
+}
+
+// FlopsDot returns the TMR cost of a dot product: three replicas.
+func FlopsDot(n int) int64 { return 3 * vec.FlopsDot(n) }
+
+// FlopsAxpy returns the TMR cost of an axpy: three replicas.
+func FlopsAxpy(n int) int64 { return 3 * vec.FlopsAxpy(n) }

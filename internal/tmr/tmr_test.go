@@ -1,0 +1,134 @@
+package tmr
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func TestDotNoFault(t *testing.T) {
+	var e Executor
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := e.Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if v, m := e.Stats(); v != 1 || m != 0 {
+		t.Fatalf("stats = %d votes, %d mismatches", v, m)
+	}
+}
+
+func TestDotOutvotesSingleTransient(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		e := Executor{Corrupt: func(replica int, scalar *float64, _ []float64) {
+			if replica == victim && scalar != nil {
+				*scalar += 1e6
+			}
+		}}
+		a := []float64{1, 2, 3}
+		b := []float64{4, 5, 6}
+		if got := e.Dot(a, b); got != 32 {
+			t.Fatalf("victim %d: Dot = %v, want 32", victim, got)
+		}
+		if _, m := e.Stats(); m != 1 {
+			t.Fatalf("victim %d: mismatch not recorded", victim)
+		}
+	}
+}
+
+func TestNorm2Sq(t *testing.T) {
+	var e Executor
+	if got := e.Norm2Sq([]float64{3, 4}); got != 25 {
+		t.Fatalf("Norm2Sq = %v", got)
+	}
+}
+
+func TestAxpyNoFault(t *testing.T) {
+	var e Executor
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	e.Axpy(2, x, y)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("Axpy = %v", y)
+	}
+}
+
+func TestAxpyOutvotesSingleTransient(t *testing.T) {
+	for victim := 0; victim < 3; victim++ {
+		e := Executor{Corrupt: func(replica int, _ *float64, out []float64) {
+			if replica == victim && out != nil {
+				out[0] += 42
+			}
+		}}
+		x := []float64{1, 2}
+		y := []float64{10, 20}
+		e.Axpy(2, x, y)
+		if y[0] != 12 || y[1] != 24 {
+			t.Fatalf("victim %d: Axpy = %v", victim, y)
+		}
+		if _, m := e.Stats(); m != 1 {
+			t.Fatalf("victim %d: mismatch not recorded", victim)
+		}
+	}
+}
+
+func TestAxpyTo(t *testing.T) {
+	var e Executor
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	dst := make([]float64, 2)
+	e.AxpyTo(dst, -1, x, y)
+	if dst[0] != 9 || dst[1] != 18 {
+		t.Fatalf("AxpyTo = %v", dst)
+	}
+	if y[0] != 10 {
+		t.Fatal("AxpyTo modified y")
+	}
+}
+
+func TestXpay(t *testing.T) {
+	var e Executor
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	e.Xpay(0.5, x, y)
+	if y[0] != 6 || y[1] != 12 {
+		t.Fatalf("Xpay = %v", y)
+	}
+}
+
+func TestXpayOutvotesTransient(t *testing.T) {
+	e := Executor{Corrupt: func(replica int, _ *float64, out []float64) {
+		if replica == 2 && out != nil {
+			out[1] = -999
+		}
+	}}
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	e.Xpay(0.5, x, y)
+	if y[1] != 12 {
+		t.Fatalf("Xpay with transient = %v", y)
+	}
+}
+
+func TestMatchesPlainKernels(t *testing.T) {
+	var e Executor
+	x := []float64{0.1, -2.5, 3.75, 4}
+	y := []float64{1, 2, 3, 4}
+	yCopy := append([]float64(nil), y...)
+	e.Axpy(1.5, x, y)
+	vec.Axpy(1.5, x, yCopy)
+	for i := range y {
+		if y[i] != yCopy[i] {
+			t.Fatal("TMR Axpy differs from plain Axpy")
+		}
+	}
+	if e.Dot(x, y) != vec.Dot(x, y) {
+		t.Fatal("TMR Dot differs from plain Dot")
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if FlopsDot(10) != 3*vec.FlopsDot(10) || FlopsAxpy(10) != 3*vec.FlopsAxpy(10) {
+		t.Fatal("TMR flops must be 3x plain")
+	}
+}
