@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/parallel"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/tmr"
@@ -287,6 +288,126 @@ func BenchmarkOptimalPlacementDP(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = model.OptimalPlacement(p, 500)
+	}
+}
+
+// --- Worker-pool engine: parallel vs sequential hot kernels ---
+//
+// The BenchmarkPool* pairs quantify the internal/pool rewiring on matrices
+// above the parallel cutoff (n ≥ 100k rows). On a multicore host the
+// *Parallel variants should beat their *Sequential baselines by roughly the
+// core count; on a single-core host they degrade to the sequential path.
+
+// benchPoolMatrix is a 2D Poisson system with n = 102400 ≥ 100k rows.
+func benchPoolMatrix(b *testing.B) *sparse.CSR {
+	b.Helper()
+	return sparse.Poisson2D(320, 320)
+}
+
+func BenchmarkPoolSpMVSequential(b *testing.B) {
+	a := benchPoolMatrix(b)
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(y, x)
+	}
+}
+
+func BenchmarkPoolSpMVParallel(b *testing.B) {
+	a := benchPoolMatrix(b)
+	p := pool.Default()
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.SetBytes(int64(12 * a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecParallel(p, y, x)
+	}
+}
+
+func BenchmarkPoolSpMVRobustSequential(b *testing.B) {
+	a := benchPoolMatrix(b)
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRobust(y, x)
+	}
+}
+
+func BenchmarkPoolSpMVRobustParallel(b *testing.B) {
+	a := benchPoolMatrix(b)
+	p := pool.Default()
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVecRobustParallel(p, y, x)
+	}
+}
+
+func BenchmarkPoolProtectedBlocksSequential(b *testing.B) {
+	a := benchPoolMatrix(b)
+	pr := parallel.New(a, 2*pool.Default().Workers())
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := pr.MulVecOn(nil, y, x); out.Detected {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func BenchmarkPoolProtectedBlocksParallel(b *testing.B) {
+	a := benchPoolMatrix(b)
+	pr := parallel.New(a, 2*pool.Default().Workers())
+	p := pool.Default()
+	x := randVec(a.Cols, 1)
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := pr.MulVecOn(p, y, x); out.Detected {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func BenchmarkPoolDotSequential(b *testing.B) {
+	x := randVec(1<<20, 1)
+	y := randVec(1<<20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vec.DotPool(nil, x, y)
+	}
+}
+
+func BenchmarkPoolDotParallel(b *testing.B) {
+	p := pool.Default()
+	x := randVec(1<<20, 1)
+	y := randVec(1<<20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vec.DotPool(p, x, y)
+	}
+}
+
+func BenchmarkPoolCampaignSequential(b *testing.B) {
+	m, rhs := benchMatrix(b, 2213)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AverageTimePool(nil, m.a, rhs, core.ABFTCorrection, 1.0/16, 2, 1, 1e-8, 1, 4)
+	}
+}
+
+func BenchmarkPoolCampaignParallel(b *testing.B) {
+	p := pool.Default()
+	m, rhs := benchMatrix(b, 2213)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.AverageTimePool(p, m.a, rhs, core.ABFTCorrection, 1.0/16, 2, 1, 1e-8, 1, 4)
 	}
 }
 

@@ -11,46 +11,59 @@
 //
 //	cgsolve -gen poisson2d -n 10000 -scheme abft-correction -alpha 0.0625
 //	cgsolve -matrix A.mtx -scheme online-detection -alpha 0.01 -seed 7
+//	cgsolve -gen poisson2d -n 1000000 -workers 0   # pool-parallel kernels
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/pool"
 	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "cgsolve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cgsolve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		matrixPath = flag.String("matrix", "", "Matrix Market file with an SPD matrix")
-		gen        = flag.String("gen", "poisson2d", "generator when -matrix is empty: poisson2d, poisson3d, laplacian, suite:<id>")
-		n          = flag.Int("n", 10000, "target dimension for generated matrices")
-		schemeName = flag.String("scheme", "abft-correction", "resilience scheme: online-detection, abft-detection, abft-correction")
-		alpha      = flag.Float64("alpha", 0, "expected silent errors per iteration (0 = fault-free)")
-		tol        = flag.Float64("tol", 1e-8, "relative residual tolerance")
-		s          = flag.Int("s", 0, "checkpoint interval in chunks (0 = model-optimal)")
-		d          = flag.Int("d", 0, "verification interval in iterations, online scheme only (0 = model-optimal)")
-		seed       = flag.Int64("seed", 1, "RNG seed for the fault injector and the manufactured solution")
-		verbose    = flag.Bool("v", false, "trace detections, corrections and rollbacks")
+		matrixPath = fs.String("matrix", "", "Matrix Market file with an SPD matrix")
+		gen        = fs.String("gen", "poisson2d", "generator when -matrix is empty: poisson2d, poisson3d, laplacian, suite:<id>")
+		n          = fs.Int("n", 10000, "target dimension for generated matrices")
+		schemeName = fs.String("scheme", "abft-correction", "resilience scheme: online-detection, abft-detection, abft-correction")
+		alpha      = fs.Float64("alpha", 0, "expected silent errors per iteration (0 = fault-free)")
+		tol        = fs.Float64("tol", 1e-8, "relative residual tolerance")
+		s          = fs.Int("s", 0, "checkpoint interval in chunks (0 = model-optimal)")
+		d          = fs.Int("d", 0, "verification interval in iterations, online scheme only (0 = model-optimal)")
+		seed       = fs.Int64("seed", 1, "RNG seed for the fault injector and the manufactured solution")
+		workers    = fs.Int("workers", 1, "worker pool size for the solver kernels: 1 = sequential, 0 = GOMAXPROCS")
+		verbose    = fs.Bool("v", false, "trace detections, corrections and rollbacks")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	a, err := loadMatrix(*matrixPath, *gen, *n)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgsolve: %v\n", err)
-		os.Exit(2)
+		return err
 	}
 	scheme, err := parseScheme(*schemeName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgsolve: %v\n", err)
-		os.Exit(2)
+		return err
 	}
 
 	b, xTrue := sim.RHS(a, *seed)
@@ -58,28 +71,28 @@ func main() {
 	if *alpha > 0 {
 		cfg.Injector = fault.New(fault.Config{Alpha: *alpha, Seed: *seed})
 	}
+	if *workers != 1 {
+		cfg.Pool = pool.New(*workers)
+	}
 	if *verbose {
 		cfg.Trace = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "trace: "+format+"\n", args...)
+			fmt.Fprintf(stderr, "trace: "+format+"\n", args...)
 		}
 	}
 
-	x, st, err := core.Solve(a, b, cfg)
-	fmt.Printf("matrix:            %d x %d, %d nonzeros (%.2e density)\n", a.Rows, a.Cols, a.NNZ(), a.Density())
-	fmt.Printf("scheme:            %v (d=%d, s=%d)\n", st.Scheme, st.D, st.S)
-	fmt.Printf("converged:         %v\n", st.Converged)
-	fmt.Printf("useful iterations: %d (total executed %d)\n", st.UsefulIterations, st.TotalIterations)
-	fmt.Printf("faults injected:   %d\n", st.FaultsInjected)
-	fmt.Printf("detections:        %d (corrected %d, rollbacks %d)\n", st.Detections, st.Corrections, st.Rollbacks)
-	fmt.Printf("checkpoints:       %d\n", st.Checkpoints)
-	fmt.Printf("model time:        %.4f s (iter %.4f, verif %.4f, ckpt %.4f, recovery %.4f)\n",
+	x, st, solveErr := core.Solve(a, b, cfg)
+	fmt.Fprintf(stdout, "matrix:            %d x %d, %d nonzeros (%.2e density)\n", a.Rows, a.Cols, a.NNZ(), a.Density())
+	fmt.Fprintf(stdout, "scheme:            %v (d=%d, s=%d)\n", st.Scheme, st.D, st.S)
+	fmt.Fprintf(stdout, "converged:         %v\n", st.Converged)
+	fmt.Fprintf(stdout, "useful iterations: %d (total executed %d)\n", st.UsefulIterations, st.TotalIterations)
+	fmt.Fprintf(stdout, "faults injected:   %d\n", st.FaultsInjected)
+	fmt.Fprintf(stdout, "detections:        %d (corrected %d, rollbacks %d)\n", st.Detections, st.Corrections, st.Rollbacks)
+	fmt.Fprintf(stdout, "checkpoints:       %d\n", st.Checkpoints)
+	fmt.Fprintf(stdout, "model time:        %.4f s (iter %.4f, verif %.4f, ckpt %.4f, recovery %.4f)\n",
 		st.SimTime, st.TimeIter, st.TimeVerif, st.TimeCkpt, st.TimeRecovery)
-	fmt.Printf("final residual:    %.3e (relative)\n", st.FinalResidual)
-	fmt.Printf("solution error:    %.3e (max abs vs manufactured solution)\n", vec.MaxAbsDiff(x, xTrue))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cgsolve: %v\n", err)
-		os.Exit(1)
-	}
+	fmt.Fprintf(stdout, "final residual:    %.3e (relative)\n", st.FinalResidual)
+	fmt.Fprintf(stdout, "solution error:    %.3e (max abs vs manufactured solution)\n", vec.MaxAbsDiff(x, xTrue))
+	return solveErr
 }
 
 func loadMatrix(path, gen string, n int) (*sparse.CSR, error) {

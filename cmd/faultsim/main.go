@@ -1,6 +1,7 @@
 // Command faultsim reproduces the paper's Figure 1: the average execution
 // time of Online-Detection, ABFT-Detection and ABFT-Correction against the
 // normalised mean time between failures, for each matrix of the test suite.
+// The repetitions of each point fan out across the worker pool (-workers).
 //
 // Example (fast, downscaled):
 //
@@ -14,73 +15,70 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/internal/sim"
 )
 
 func main() {
-	var (
-		scale    = flag.Int("scale", 16, "matrix downscale factor (1 = full paper size)")
-		reps     = flag.Int("reps", 50, "repetitions per point (the paper uses 50)")
-		points   = flag.Int("points", 7, "number of MTBF points in [1e2, 1e4]")
-		tol      = flag.Float64("tol", 1e-8, "solver tolerance")
-		seed     = flag.Int64("seed", 1, "base RNG seed")
-		csvPath  = flag.String("csv", "", "write CSV to this path (default: text to stdout only)")
-		matrices = flag.String("matrices", "", "comma-separated UFL ids (default: all nine)")
-		quiet    = flag.Bool("q", false, "suppress progress output")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
+		os.Exit(1)
+	}
+}
 
-	suite := sim.PaperSuite
-	if *matrices != "" {
-		suite = nil
-		for _, part := range strings.Split(*matrices, ",") {
-			id, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "faultsim: bad matrix id %q: %v\n", part, err)
-				os.Exit(2)
-			}
-			m, ok := sim.SuiteByID(id)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "faultsim: unknown matrix id %d\n", id)
-				os.Exit(2)
-			}
-			suite = append(suite, m)
-		}
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scale    = fs.Int("scale", 16, "matrix downscale factor (1 = full paper size)")
+		reps     = fs.Int("reps", 50, "repetitions per point (the paper uses 50)")
+		points   = fs.Int("points", 7, "number of MTBF points in [1e2, 1e4]")
+		tol      = fs.Float64("tol", 1e-8, "solver tolerance")
+		seed     = fs.Int64("seed", 1, "base RNG seed")
+		workers  = fs.Int("workers", 0, "worker pool size for the trial fan-out: 0 = GOMAXPROCS, 1 = sequential")
+		csvPath  = fs.String("csv", "", "write CSV to this path (default: text to stdout only)")
+		matrices = fs.String("matrices", "", "comma-separated UFL ids (default: all nine)")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	suite, err := sim.SelectSuite(*matrices)
+	if err != nil {
+		return err
 	}
 
 	cfg := sim.Figure1Config{
-		Scale: *scale,
-		Reps:  *reps,
-		MTBFs: sim.LogSpace(1e2, 1e4, *points),
-		Tol:   *tol,
-		Seed:  *seed,
+		Scale:   *scale,
+		Reps:    *reps,
+		MTBFs:   sim.LogSpace(1e2, 1e4, *points),
+		Tol:     *tol,
+		Seed:    *seed,
+		Workers: *workers,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	}
 
 	series := sim.RunFigure1(cfg, suite)
-	if err := sim.WriteFigure1Text(os.Stdout, series); err != nil {
-		fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-		os.Exit(1)
+	if err := sim.WriteFigure1Text(stdout, series); err != nil {
+		return err
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := sim.WriteFigure1CSV(f, series); err != nil {
-			fmt.Fprintf(os.Stderr, "faultsim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+		fmt.Fprintf(stderr, "wrote %s\n", *csvPath)
 	}
+	return nil
 }

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -22,43 +23,52 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "matgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("matgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gen   = flag.String("gen", "", "generator: suite:<id>, poisson2d, poisson3d, laplacian, randomspd")
-		n     = flag.Int("n", 4096, "dimension for non-suite generators")
-		scale = flag.Int("scale", 16, "downscale factor for suite matrices")
-		out   = flag.String("o", "", "output file (default stdout)")
-		suite = flag.Bool("suite", false, "generate the whole nine-matrix suite")
-		dir   = flag.String("dir", ".", "output directory for -suite")
-		seed  = flag.Int64("seed", 42, "generator seed (non-suite)")
+		gen   = fs.String("gen", "", "generator: suite:<id>, poisson2d, poisson3d, laplacian, randomspd")
+		n     = fs.Int("n", 4096, "dimension for non-suite generators")
+		scale = fs.Int("scale", 16, "downscale factor for suite matrices")
+		out   = fs.String("o", "", "output file (default stdout)")
+		suite = fs.Bool("suite", false, "generate the whole nine-matrix suite")
+		dir   = fs.String("dir", ".", "output directory for -suite")
+		seed  = fs.Int64("seed", 42, "generator seed (non-suite)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *suite {
 		for _, sm := range sim.PaperSuite {
 			a := sm.Generate(*scale)
 			path := filepath.Join(*dir, fmt.Sprintf("suite_%d_scale%d.mtx", sm.ID, *scale))
 			if err := writeTo(path, a); err != nil {
-				fail(err)
+				return err
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s (n=%d, nnz=%d)\n", path, a.Rows, a.NNZ())
+			fmt.Fprintf(stderr, "wrote %s (n=%d, nnz=%d)\n", path, a.Rows, a.NNZ())
 		}
-		return
+		return nil
 	}
 
 	a, err := build(*gen, *n, *scale, *seed)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if *out == "" {
-		if err := sparse.WriteMatrixMarket(os.Stdout, a); err != nil {
-			fail(err)
-		}
-		return
+		return sparse.WriteMatrixMarket(stdout, a)
 	}
 	if err := writeTo(*out, a); err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (n=%d, nnz=%d)\n", *out, a.Rows, a.NNZ())
+	fmt.Fprintf(stderr, "wrote %s (n=%d, nnz=%d)\n", *out, a.Rows, a.NNZ())
+	return nil
 }
 
 func build(gen string, n, scale int, seed int64) (*sparse.CSR, error) {
@@ -103,9 +113,4 @@ func writeTo(path string, a *sparse.CSR) error {
 	}
 	defer f.Close()
 	return sparse.WriteMatrixMarket(f, a)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "matgen: %v\n", err)
-	os.Exit(1)
 }

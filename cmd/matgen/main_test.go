@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesMatrixMarketFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "poisson.mtx")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-gen", "poisson2d", "-n", "64", "-o", out}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v) failed: %v", args, err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "%%MatrixMarket") {
+		t.Fatalf("output is not Matrix Market:\n%s", string(data[:40]))
+	}
+}
+
+func TestRunStdoutWhenNoOutputFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-gen", "laplacian", "-n", "50"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.HasPrefix(stdout.String(), "%%MatrixMarket") {
+		t.Fatal("matrix must stream to stdout when -o is empty")
+	}
+}
+
+func TestRunSuiteMode(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-suite", "-scale", "128", "-dir", dir}, &stdout, &stderr); err != nil {
+		t.Fatalf("suite generation failed: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 9 {
+		t.Fatalf("suite mode wrote %d files, want 9", len(entries))
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{nil, "need -gen or -suite"},
+		{[]string{"-gen", "nope"}, `unknown generator "nope"`},
+		{[]string{"-gen", "suite:abc"}, "bad suite id"},
+		{[]string{"-gen", "suite:1"}, "unknown suite matrix 1"},
+		{[]string{"-what"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(tc.args, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("run(%v) error = %v, want containing %q", tc.args, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-scale", "128", "-reps", "1", "-matrices", "2213", "-seed", "3", "-q"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v) failed: %v", args, err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Et(s~1)") {
+		t.Fatalf("table header missing:\n%s", out)
+	}
+	// Header plus exactly one matrix row.
+	if lines := strings.Count(strings.TrimSpace(out), "\n"); lines != 1 {
+		t.Fatalf("table has %d data rows, want 1:\n%s", lines, out)
+	}
+	if !strings.Contains(out, "  2213 ") {
+		t.Fatalf("row for matrix 2213 missing:\n%s", out)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	cases := []struct {
+		args    []string
+		wantErr string
+	}{
+		{[]string{"-matrices", "xyz"}, "bad matrix id"},
+		{[]string{"-matrices", "42"}, "unknown matrix id 42"},
+		{[]string{"-nope"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(tc.args, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("run(%v) error = %v, want containing %q", tc.args, err, tc.wantErr)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -23,25 +24,35 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "perfmodel: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("perfmodel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		suiteID = flag.Int("suite", 0, "derive costs from this suite matrix id (0 = use explicit costs)")
-		scale   = flag.Int("scale", 16, "suite downscale factor")
-		alpha   = flag.Float64("alpha", 1.0/16, "expected faults per iteration (λ with Titer = 1)")
-		titer   = flag.Float64("titer", 1, "iteration cost")
-		tverif  = flag.Float64("tverif", 0.1, "verification cost per chunk")
-		tcp     = flag.Float64("tcp", 2, "checkpoint cost")
-		trec    = flag.Float64("trec", 2, "recovery cost")
+		suiteID = fs.Int("suite", 0, "derive costs from this suite matrix id (0 = use explicit costs)")
+		scale   = fs.Int("scale", 16, "suite downscale factor")
+		alpha   = fs.Float64("alpha", 1.0/16, "expected faults per iteration (λ with Titer = 1)")
+		titer   = fs.Float64("titer", 1, "iteration cost")
+		tverif  = fs.Float64("tverif", 0.1, "verification cost per chunk")
+		tcp     = fs.Float64("tcp", 2, "checkpoint cost")
+		trec    = fs.Float64("trec", 2, "recovery cost")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *suiteID != 0 {
 		sm, ok := sim.SuiteByID(*suiteID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "perfmodel: unknown suite matrix %d\n", *suiteID)
-			os.Exit(2)
+			return fmt.Errorf("unknown suite matrix %d", *suiteID)
 		}
 		a := sm.Generate(*scale)
-		fmt.Printf("matrix #%d at scale %d: n=%d nnz=%d\n\n", sm.ID, *scale, a.Rows, a.NNZ())
+		fmt.Fprintf(stdout, "matrix #%d at scale %d: n=%d nnz=%d\n\n", sm.ID, *scale, a.Rows, a.NNZ())
 		for _, scheme := range core.Schemes {
 			costs := core.NewCosts(a, scheme, core.DefaultCostParams())
 			d, s := core.OptimalIntervals(a, scheme, *alpha, core.DefaultCostParams())
@@ -53,15 +64,15 @@ func main() {
 				Lambda:     *alpha,
 				Correcting: scheme == core.ABFTCorrection,
 			}
-			fmt.Printf("%-18s Titer=%.3e s  Tverif/Titer=%.3f  Tcp/Titer=%.3f\n",
+			fmt.Fprintf(stdout, "%-18s Titer=%.3e s  Tverif/Titer=%.3f  Tcp/Titer=%.3f\n",
 				scheme, costs.Titer, costs.Tverif/costs.Titer, costs.Tcp/costs.Titer)
-			fmt.Printf("%-18s q=%.6f  optimal d=%d s=%d  predicted overhead=%.4f\n\n",
+			fmt.Fprintf(stdout, "%-18s q=%.6f  optimal d=%d s=%d  predicted overhead=%.4f\n\n",
 				"", p.Q(), d, s, p.Overhead(s))
 		}
-		return
+		return nil
 	}
 
-	fmt.Printf("abstract model: Titer=%v Tverif=%v Tcp=%v Trec=%v lambda=%v\n\n",
+	fmt.Fprintf(stdout, "abstract model: Titer=%v Tverif=%v Tcp=%v Trec=%v lambda=%v\n\n",
 		*titer, *tverif, *tcp, *trec, *alpha)
 	for _, correcting := range []bool{false, true} {
 		p := model.Params{
@@ -73,9 +84,10 @@ func main() {
 		if correcting {
 			label = "correction"
 		}
-		fmt.Printf("%s: q=%.6f  s*=%d  E(s*,T)=%.4f  overhead=%.4f\n",
+		fmt.Fprintf(stdout, "%s: q=%.6f  s*=%d  E(s*,T)=%.4f  overhead=%.4f\n",
 			label, p.Q(), s, p.FrameTime(s), ov)
 	}
-	fmt.Printf("\nYoung period: %.3f   Daly period: %.3f\n",
+	fmt.Fprintf(stdout, "\nYoung period: %.3f   Daly period: %.3f\n",
 		model.YoungPeriod(*tcp, *alpha), model.DalyPeriod(*tcp, *trec, *alpha))
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAbstractModel(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-titer", "1", "-tverif", "0.2", "-tcp", "1.9", "-trec", "1.9", "-alpha", "0.0625"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v) failed: %v", args, err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"abstract model:", "detection :", "correction:", "Young period:", "Daly period:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSuiteDerivedCosts(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-suite", "341", "-scale", "128"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v) failed: %v", args, err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "matrix #341") {
+		t.Fatalf("suite header missing:\n%s", out)
+	}
+	for _, scheme := range []string{"Online-Detection", "ABFT-Detection", "ABFT-Correction"} {
+		if !strings.Contains(out, scheme) {
+			t.Fatalf("output missing scheme %s:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-suite", "77"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "unknown suite matrix 77") {
+		t.Fatalf("unknown suite id must fail, got %v", err)
+	}
+	if err := run([]string{"-zzz"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "flag provided but not defined") {
+		t.Fatalf("bad flag must fail, got %v", err)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinySweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 128, 1); err != nil {
+		t.Fatalf("faultsweep demo failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "matrix #341") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	// One row per MTBF point.
+	for _, mtbf := range []string{"16 ", "50 ", "100 ", "1000 ", "10000 "} {
+		if !strings.Contains(s, mtbf) {
+			t.Fatalf("sweep row for MTBF %s missing:\n%s", mtbf, s)
+		}
+	}
+}

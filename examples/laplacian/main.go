@@ -11,7 +11,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
 
 	"repro/internal/abft"
 	"repro/internal/checksum"
@@ -19,8 +21,16 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout, 500); err != nil {
+		fmt.Fprintf(os.Stderr, "laplacian: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run demonstrates the shifted test on the combinatorial Laplacian of a
+// random graph with n vertices. The smoke tests call it with a tiny graph.
+func run(w io.Writer, n int) error {
 	// The combinatorial Laplacian of a random graph: every column sums to 0.
-	n := 500
 	a := sparse.RandomGraphLaplacian(n, 6, 0, 42)
 	cs := checksum.NewMatrix(a)
 
@@ -30,9 +40,9 @@ func main() {
 			zeroCols++
 		}
 	}
-	fmt.Printf("graph Laplacian: n=%d, nnz=%d, zero-sum columns: %d of %d\n",
+	fmt.Fprintf(w, "graph Laplacian: n=%d, nnz=%d, zero-sum columns: %d of %d\n",
 		n, a.NNZ(), zeroCols, n)
-	fmt.Printf("shift constant k = %v (chosen so every shifted checksum is nonzero)\n\n", cs.K)
+	fmt.Fprintf(w, "shift constant k = %v (chosen so every shifted checksum is nonzero)\n\n", cs.K)
 
 	// Corrupt one entry of the input vector AFTER taking its trusted copy.
 	rng := rand.New(rand.NewSource(1))
@@ -41,7 +51,8 @@ func main() {
 		x[i] = rng.NormFloat64()
 	}
 	xPrime := append([]float64(nil), x...) // the paper's auxiliary copy x′
-	x[137] += 2.5                          // silent memory fault
+	hit := n / 4
+	x[hit] += 2.5 // silent memory fault
 
 	p := abft.NewProtected(a, abft.DetectCorrect)
 	y := make([]float64, n)
@@ -57,22 +68,23 @@ func main() {
 	for _, v := range y {
 		sy += v
 	}
-	fmt.Printf("unshifted test:  |C1ᵀx′ − Σy| = |%.3g − %.3g| = %.3g  → error INVISIBLE\n",
+	fmt.Fprintf(w, "unshifted test:  |C1ᵀx′ − Σy| = |%.3g − %.3g| = %.3g  → error INVISIBLE\n",
 		unshifted, sy, abs(unshifted-sy))
 
 	// The paper's shifted test sees it.
 	if p.ShiftedTest(y, x, xPrime) {
-		fmt.Println("shifted test:    PASSED — this should not happen!")
-	} else {
-		fmt.Println("shifted test:    FAILED as it should → error DETECTED")
+		fmt.Fprintln(w, "shifted test:    PASSED — this should not happen!")
+		return fmt.Errorf("shifted test missed the corruption")
 	}
+	fmt.Fprintln(w, "shifted test:    FAILED as it should → error DETECTED")
 
 	// And the full two-row machinery locates and repairs it.
 	ref := checksum.NewVector(xPrime)
 	out := p.Verify(y, x, ref, rowSums(p))
-	fmt.Printf("full ABFT:       detected=%v corrected=%v class=%v\n",
+	fmt.Fprintf(w, "full ABFT:       detected=%v corrected=%v class=%v\n",
 		out.Detected, out.Corrected, out.Class)
-	fmt.Printf("x[137] repaired to %.6f (original %.6f)\n", x[137], xPrime[137])
+	fmt.Fprintf(w, "x[%d] repaired to %.6f (original %.6f)\n", hit, x[hit], xPrime[hit])
+	return nil
 }
 
 func rowSums(p *abft.Protected) abft.RowSums {

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyLaplacian(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 120); err != nil {
+		t.Fatalf("laplacian demo failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "graph Laplacian: n=120") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "error DETECTED") {
+		t.Fatalf("shifted test must detect the corruption:\n%s", s)
+	}
+	if !strings.Contains(s, "detected=true") {
+		t.Fatalf("full ABFT must report detection:\n%s", s)
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallMatrix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 400); err != nil {
+		t.Fatalf("parallelspmv demo failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "clean product:        detected=false") {
+		t.Fatalf("clean product report wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "one Val flip:         detected=true") {
+		t.Fatalf("single-flip report wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "two flips, 2 blocks:  detected=true") {
+		t.Fatalf("double-flip report wrong:\n%s", s)
+	}
+}

@@ -11,7 +11,8 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -22,19 +23,28 @@ import (
 )
 
 func main() {
-	a := sparse.SuiteSPD(sparse.SuiteSPDOptions{N: 4000, Density: 0.005, Seed: 11})
+	if err := run(os.Stdout, 4000); err != nil {
+		fmt.Fprintf(os.Stderr, "precond: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run solves one n×n SPD system under faults with two protected
+// preconditioners. The smoke tests call it with a tiny n.
+func run(w io.Writer, n int) error {
+	a := sparse.SuiteSPD(sparse.SuiteSPDOptions{N: n, Density: 0.005, Seed: 11})
 	b, xTrue := sim.RHS(a, 11)
 
 	jacobi, err := precond.Jacobi(a)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	neumann, err := precond.Neumann(a, precond.NeumannOptions{Terms: 2})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("matrix: n=%d nnz=%d; Neumann approximate inverse: nnz=%d\n\n",
+	fmt.Fprintf(w, "matrix: n=%d nnz=%d; Neumann approximate inverse: nnz=%d\n\n",
 		a.Rows, a.NNZ(), neumann.NNZ())
 
 	for _, pc := range []struct {
@@ -49,12 +59,13 @@ func main() {
 			Injector: inj,
 		})
 		if err != nil {
-			log.Fatalf("%s: %v", pc.name, err)
+			return fmt.Errorf("%s: %w", pc.name, err)
 		}
-		fmt.Printf("%-10s iters=%-4d faults=%-3d corrected=%-3d rollbacks=%-2d residual=%.2e err=%.2e\n",
+		fmt.Fprintf(w, "%-10s iters=%-4d faults=%-3d corrected=%-3d rollbacks=%-2d residual=%.2e err=%.2e\n",
 			pc.name, st.UsefulIterations, st.FaultsInjected, st.Corrections,
 			st.Rollbacks, st.FinalResidual, vec.MaxAbsDiff(x, xTrue))
 	}
-	fmt.Println("\nBoth preconditioners are protected by the same checksum rows as A;")
-	fmt.Println("faults striking the preconditioner arrays are corrected in place.")
+	fmt.Fprintln(w, "\nBoth preconditioners are protected by the same checksum rows as A;")
+	fmt.Fprintln(w, "faults striking the preconditioner arrays are corrected in place.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTinySystem(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 400); err != nil {
+		t.Fatalf("precond demo failed: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "matrix: n=400") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	for _, pc := range []string{"Jacobi", "Neumann-2"} {
+		if !strings.Contains(s, pc) {
+			t.Fatalf("result row for %s missing:\n%s", pc, s)
+		}
+	}
+}

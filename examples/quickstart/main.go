@@ -9,7 +9,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -20,7 +22,15 @@ import (
 
 func main() {
 	// A 100×100 Poisson grid: the classic SPD test problem.
-	a := sparse.Poisson2D(100, 100)
+	if err := run(os.Stdout, 100); err != nil {
+		log.Fatalf("solve failed: %v", err)
+	}
+}
+
+// run solves the side×side Poisson system under fault injection and writes
+// the report to w. The smoke tests call it with a tiny grid.
+func run(w io.Writer, side int) error {
+	a := sparse.Poisson2D(side, side)
 	b, xTrue := sim.RHS(a, 1)
 
 	// One expected silent error every 16 CG iterations — the fault rate of
@@ -33,16 +43,17 @@ func main() {
 		Injector: inj,
 	})
 	if err != nil {
-		log.Fatalf("solve failed: %v", err)
+		return err
 	}
 
-	fmt.Printf("solved %dx%d system (%d nonzeros) with %v\n",
+	fmt.Fprintf(w, "solved %dx%d system (%d nonzeros) with %v\n",
 		a.Rows, a.Cols, a.NNZ(), st.Scheme)
-	fmt.Printf("  iterations: %d useful, %d executed\n", st.UsefulIterations, st.TotalIterations)
-	fmt.Printf("  faults:     %d injected, %d detected\n", st.FaultsInjected, st.Detections)
-	fmt.Printf("  recovery:   %d corrected forward, %d rollbacks\n", st.Corrections, st.Rollbacks)
-	fmt.Printf("  residual:   %.2e   solution error: %.2e\n",
+	fmt.Fprintf(w, "  iterations: %d useful, %d executed\n", st.UsefulIterations, st.TotalIterations)
+	fmt.Fprintf(w, "  faults:     %d injected, %d detected\n", st.FaultsInjected, st.Detections)
+	fmt.Fprintf(w, "  recovery:   %d corrected forward, %d rollbacks\n", st.Corrections, st.Rollbacks)
+	fmt.Fprintf(w, "  residual:   %.2e   solution error: %.2e\n",
 		st.FinalResidual, vec.MaxAbsDiff(x, xTrue))
-	fmt.Printf("  model time: %.4f s (checkpoints: %d at interval s=%d)\n",
+	fmt.Fprintf(w, "  model time: %.4f s (checkpoints: %d at interval s=%d)\n",
 		st.SimTime, st.Checkpoints, st.S)
+	return nil
 }

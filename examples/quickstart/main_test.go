@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallGrid(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 12); err != nil {
+		t.Fatalf("quickstart on a 12x12 grid failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "solved 144x144 system") {
+		t.Fatalf("unexpected report:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ABFT-Correction") {
+		t.Fatal("report must name the scheme")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/abft"
 	"repro/internal/checkpoint"
 	"repro/internal/fault"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 	"repro/internal/tmr"
 	"repro/internal/vec"
@@ -31,6 +32,9 @@ type BiCGstabConfig struct {
 	MaxIters int
 	Injector *fault.Injector
 	Costs    CostParams
+	// Pool, as in Config, runs the hot kernels across the worker pool with
+	// deterministic blocked arithmetic.
+	Pool *pool.Pool
 }
 
 // SolveBiCGstab runs the resilient BiCGstab on Ax = b for general
@@ -93,6 +97,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 	highWater, stuck := 0, 0
 	last := 0
 	var exec tmr.Executor
+	exec.Pool = cfg.Pool
 
 	snapshot := func() *checkpoint.State {
 		return &checkpoint.State{
@@ -150,7 +155,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 	for {
 		if vec.Norm2(r) <= base.Tol*normB {
 			st.TimeVerif += costs.Titer / 2
-			live.MulVecRobust(tv, x)
+			live.MulVecRobustParallel(cfg.Pool, tv, x)
 			vec.Sub(tv, b, tv)
 			confirmTol := math.Max(10*base.Tol, 1e-6) * normB
 			if tr := vec.Norm2(tv); tr <= confirmTol && !math.IsNaN(tr) {
@@ -161,7 +166,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			finalRetries++
 			if finalRetries >= maxFinalCheckRetries {
 				st.UsefulIterations = it
-				return finish(a, b, x, normB, &st, cfg.Injector,
+				return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector,
 					fmt.Errorf("core: BiCGstab %v: convergence confirmation kept failing", base.Scheme))
 			}
 			fail()
@@ -169,7 +174,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		}
 		if it >= base.MaxIters || st.TotalIterations >= maxTotal {
 			st.UsefulIterations = it
-			return finish(a, b, x, normB, &st, cfg.Injector,
+			return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector,
 				fmt.Errorf("core: BiCGstab %v: not converged after %d useful (%d total) iterations",
 					base.Scheme, it, st.TotalIterations))
 		}
@@ -303,17 +308,17 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			save(true)
 		}
 	}
-	return finish(a, b, x, normB, &st, cfg.Injector, nil)
+	return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector, nil)
 }
 
 // finish computes the final statistics common to the drivers.
-func finish(a *sparse.CSR, b, x []float64, normB float64, st *Stats, inj *fault.Injector, err error) ([]float64, Stats, error) {
+func finish(pl *pool.Pool, a *sparse.CSR, b, x []float64, normB float64, st *Stats, inj *fault.Injector, err error) ([]float64, Stats, error) {
 	st.SimTime = st.TimeIter + st.TimeVerif + st.TimeCkpt + st.TimeRecovery + st.SimTime
 	if inj != nil {
 		st.FaultsInjected = inj.Stats().Flips
 	}
 	rr := make([]float64, len(b))
-	a.MulVec(rr, x)
+	a.MulVecParallel(pl, rr, x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / normB
 	return x, *st, err

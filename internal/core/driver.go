@@ -66,6 +66,7 @@ func Solve(a *sparse.CSR, b []float64, cfg Config) ([]float64, Stats, error) {
 	}
 	run.state = &fault.State{A: live, R: run.r, P: run.p, Q: run.q, X: run.x}
 
+	run.exec.Pool = cfg.Pool
 	if cfg.Scheme != OnlineDetection {
 		mode := abftMode(cfg.Scheme)
 		run.prot = abft.NewProtected(live, mode)
@@ -96,7 +97,7 @@ func Solve(a *sparse.CSR, b []float64, cfg Config) ([]float64, Stats, error) {
 	}
 	// The reported residual uses the caller's pristine matrix.
 	rr := make([]float64, n)
-	a.MulVec(rr, run.x)
+	a.MulVecParallel(cfg.Pool, rr, run.x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / run.normB
 	return run.x, st, err
@@ -159,7 +160,7 @@ func (rs *runState) loop() error {
 		// consistently-corrupted-but-harmless system.
 		if math.Sqrt(rs.rho) <= cfg.Tol*rs.normB {
 			st.TimeVerif += rs.costs.Titer // one confirmation SpMxV
-			rs.live.MulVecRobust(rs.q, rs.x)
+			rs.live.MulVecRobustParallel(cfg.Pool, rs.q, rs.x)
 			vec.Sub(rs.q, rs.b, rs.q)
 			confirmTol := math.Max(10*cfg.Tol, 1e-6) * rs.normB
 			if tr := vec.Norm2(rs.q); tr <= confirmTol && !math.IsNaN(tr) {
@@ -194,6 +195,9 @@ func (rs *runState) loop() error {
 		}
 
 		rs.it++
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(rs.it, rs.rho)
+		}
 		if rs.it > rs.highWater {
 			rs.highWater = rs.it
 			rs.stuck = 0
@@ -262,7 +266,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 		}
 	} else {
 		st.TimeIter += rs.costs.Titer
-		rs.live.MulVecRobust(rs.q, rs.p)
+		rs.live.MulVecRobustParallel(rs.cfg.Pool, rs.q, rs.p)
 		for _, ev := range deferredQ {
 			rs.cfg.Injector.ApplyEvent(rs.state, ev)
 		}
@@ -276,7 +280,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 	if abftScheme {
 		pq = rs.exec.Dot(rs.p, rs.q)
 	} else {
-		pq = vec.Dot(rs.p, rs.q)
+		pq = vec.DotPool(rs.cfg.Pool, rs.p, rs.q)
 	}
 	if pq <= 0 || math.IsNaN(pq) || math.IsInf(pq, 0) {
 		st.Detections++
@@ -290,15 +294,15 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 		rs.exec.Axpy(-alpha, rs.q, rs.r)
 		rs.rGuard.Refresh(rs.r)
 	} else {
-		vec.Axpy(alpha, rs.p, rs.x)
-		vec.Axpy(-alpha, rs.q, rs.r)
+		vec.AxpyPool(rs.cfg.Pool, alpha, rs.p, rs.x)
+		vec.AxpyPool(rs.cfg.Pool, -alpha, rs.q, rs.r)
 	}
 
 	var rhoNew float64
 	if abftScheme {
 		rhoNew = rs.exec.Norm2Sq(rs.r)
 	} else {
-		rhoNew = vec.Norm2Sq(rs.r)
+		rhoNew = vec.Norm2SqPool(rs.cfg.Pool, rs.r)
 	}
 	if math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
 		st.Detections++
@@ -309,7 +313,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 		rs.exec.Xpay(beta, rs.r, rs.p)
 		rs.pGuard.Refresh(rs.p)
 	} else {
-		vec.Xpay(beta, rs.r, rs.p)
+		vec.XpayPool(rs.cfg.Pool, beta, rs.r, rs.p)
 	}
 	rs.rho = rhoNew
 	return true
@@ -323,7 +327,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 func (rs *runState) onlineVerify() bool {
 	n := len(rs.b)
 	rr := make([]float64, n)
-	rs.live.MulVecRobust(rr, rs.x)
+	rs.live.MulVecRobustParallel(rs.cfg.Pool, rr, rs.x)
 	vec.Sub(rr, rs.b, rr)
 
 	normRR := vec.Norm2(rr)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/abft"
 	"repro/internal/checkpoint"
 	"repro/internal/fault"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 	"repro/internal/tmr"
 	"repro/internal/vec"
@@ -30,13 +31,16 @@ type PCGConfig struct {
 	// M is the explicit sparse preconditioner (e.g. precond.Jacobi or
 	// precond.Neumann output). Must be SPD for PCG.
 	M *sparse.CSR
-	// S, D, Tol, MaxIters, Injector, Costs, Trace: as in Config.
-	S, D     int
-	Tol      float64
-	MaxIters int
-	Injector *fault.Injector
-	Costs    CostParams
-	Trace    func(format string, args ...any)
+	// S, D, Tol, MaxIters, Injector, Costs, Trace, Pool, OnIteration: as in
+	// Config.
+	S, D        int
+	Tol         float64
+	MaxIters    int
+	Injector    *fault.Injector
+	Costs       CostParams
+	Trace       func(format string, args ...any)
+	Pool        *pool.Pool
+	OnIteration func(it int, rho float64)
 }
 
 // SolvePCG runs the resilient preconditioned CG on Ax = b. Both A and M
@@ -53,7 +57,7 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 	base := Config{
 		Scheme: cfg.Scheme, S: cfg.S, D: cfg.D, Tol: cfg.Tol,
 		MaxIters: cfg.MaxIters, Injector: cfg.Injector, Costs: cfg.Costs,
-		Trace: cfg.Trace,
+		Trace: cfg.Trace, Pool: cfg.Pool, OnIteration: cfg.OnIteration,
 	}
 	base = base.withDefaults(n)
 
@@ -106,6 +110,7 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		s:     s,
 	}
 	p.state = &fault.State{A: liveA, M: liveM, R: p.r, P: p.p, Q: p.q, X: p.x, Z: p.z}
+	p.exec.Pool = cfg.Pool
 
 	if base.Scheme != OnlineDetection {
 		mode := abftMode(base.Scheme)
@@ -123,9 +128,9 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		p.normB = 1
 	}
 	// z0 = M r0, p0 = z0, rho0 = rᵀz.
-	p.m.MulVecRobust(p.z, p.r)
+	p.m.MulVecRobustParallel(cfg.Pool, p.z, p.r)
 	copy(p.p, p.z)
-	p.rho = vec.Dot(p.r, p.z)
+	p.rho = vec.DotPool(cfg.Pool, p.r, p.z)
 	if base.Scheme != OnlineDetection {
 		p.rGuard.Refresh(p.r)
 		p.pGuard.Refresh(p.p)
@@ -143,7 +148,7 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		st.FaultsInjected = cfg.Injector.Stats().Flips
 	}
 	rr := make([]float64, n)
-	a.MulVec(rr, p.x)
+	a.MulVecParallel(cfg.Pool, rr, p.x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / p.normB
 	return p.x, st, err
@@ -208,7 +213,7 @@ func (p *pcgRun) loop() error {
 		// unprotected baseline's criterion exactly.
 		if vec.Norm2(p.r) <= cfg.Tol*p.normB {
 			st.TimeVerif += p.costs.Titer
-			p.a.MulVecRobust(p.q, p.x)
+			p.a.MulVecRobustParallel(cfg.Pool, p.q, p.x)
 			vec.Sub(p.q, p.b, p.q)
 			confirmTol := math.Max(10*cfg.Tol, 1e-6) * p.normB
 			if tr := vec.Norm2(p.q); tr <= confirmTol && !math.IsNaN(tr) {
@@ -241,6 +246,9 @@ func (p *pcgRun) loop() error {
 		}
 
 		p.it++
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(p.it, p.rho)
+		}
 		if p.it > p.highWater {
 			p.highWater = p.it
 			p.stuck = 0
@@ -301,7 +309,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 			}
 		}
 	} else {
-		p.a.MulVecRobust(p.q, p.p)
+		p.a.MulVecRobustParallel(p.cfg.Pool, p.q, p.p)
 		applyDeferred(fault.TargetVecQ)
 	}
 
@@ -309,7 +317,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 	if abftScheme {
 		pq = p.exec.Dot(p.p, p.q)
 	} else {
-		pq = vec.Dot(p.p, p.q)
+		pq = vec.DotPool(p.cfg.Pool, p.p, p.q)
 	}
 	if pq <= 0 || math.IsNaN(pq) || math.IsInf(pq, 0) {
 		st.Detections++
@@ -323,8 +331,8 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 		p.exec.Axpy(-alpha, p.q, p.r)
 		p.rGuard.Refresh(p.r)
 	} else {
-		vec.Axpy(alpha, p.p, p.x)
-		vec.Axpy(-alpha, p.q, p.r)
+		vec.AxpyPool(p.cfg.Pool, alpha, p.p, p.x)
+		vec.AxpyPool(p.cfg.Pool, -alpha, p.q, p.r)
 	}
 
 	// The preconditioner application z ← M·r, protected like the A-product
@@ -345,7 +353,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 			}
 		}
 	} else {
-		p.m.MulVecRobust(p.z, p.r)
+		p.m.MulVecRobustParallel(p.cfg.Pool, p.z, p.r)
 		applyDeferred(fault.TargetVecZ)
 	}
 
@@ -353,7 +361,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 	if abftScheme {
 		rhoNew = p.exec.Dot(p.r, p.z)
 	} else {
-		rhoNew = vec.Dot(p.r, p.z)
+		rhoNew = vec.DotPool(p.cfg.Pool, p.r, p.z)
 	}
 	if math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
 		st.Detections++
@@ -364,7 +372,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 		p.exec.Xpay(beta, p.z, p.p)
 		p.pGuard.Refresh(p.p)
 	} else {
-		vec.Xpay(beta, p.z, p.p)
+		vec.XpayPool(p.cfg.Pool, beta, p.z, p.p)
 	}
 	p.rho = rhoNew
 	return true
@@ -375,7 +383,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 func (p *pcgRun) onlineVerify() bool {
 	n := len(p.b)
 	rr := make([]float64, n)
-	p.a.MulVecRobust(rr, p.x)
+	p.a.MulVecRobustParallel(p.cfg.Pool, rr, p.x)
 	vec.Sub(rr, p.b, rr)
 
 	normRR := vec.Norm2(rr)

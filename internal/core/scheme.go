@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/model"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 )
 
@@ -64,6 +65,17 @@ type Config struct {
 	// Trace, when non-nil, receives a line per notable event (detections,
 	// corrections, rollbacks, checkpoints) for debugging and audits.
 	Trace func(format string, args ...any)
+	// Pool, when non-nil, executes the solver's hot kernels — the SpMxV row
+	// ranges and the blocked vector reductions — across the worker pool.
+	// Kernels use deterministic blocked summation, so a solve with any pool
+	// (including nil) produces a bitwise-identical iterate trajectory; the
+	// pool changes wall-clock time only, never the arithmetic.
+	Pool *pool.Pool
+	// OnIteration, when non-nil, is called after every useful iteration with
+	// the iteration count and the current recurrence quantity ρ (‖r‖² for
+	// CG, rᵀz for PCG). Tests use it to compare residual histories across
+	// execution modes.
+	OnIteration func(it int, rho float64)
 }
 
 func (c Config) withDefaults(n int) Config {

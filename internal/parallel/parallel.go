@@ -17,9 +17,9 @@ package parallel
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/checksum"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 )
 
@@ -101,25 +101,36 @@ func (b *Block) encode(a *sparse.CSR) {
 	}
 }
 
-// MulVec computes y ← Ax with one goroutine per block, each verifying (and
-// in-place repairing, when possible) its own slice. It returns the
-// aggregate outcome; on Detected && !Corrected the caller must roll back,
-// exactly like the sequential driver.
+// MulVec computes y ← Ax with the blocks executed concurrently on the
+// shared worker pool, each verifying (and in-place repairing, when
+// possible) its own slice. It returns the aggregate outcome; on
+// Detected && !Corrected the caller must roll back, exactly like the
+// sequential driver.
 func (p *Protected) MulVec(y, x []float64) Outcome {
+	return p.MulVecOn(pool.Default(), y, x)
+}
+
+// MulVecOn is MulVec on an explicit pool; a nil pool runs the blocks
+// sequentially. Blocks own disjoint row slices of y and each block's
+// verification reads only its own slice, so the per-block outcomes — and
+// their deterministic in-order merge below — do not depend on worker count
+// or scheduling.
+func (p *Protected) MulVecOn(pl *pool.Pool, y, x []float64) Outcome {
 	if len(x) != p.A.Cols || len(y) != p.A.Rows {
 		panic(fmt.Sprintf("parallel: MulVec dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
 			p.A.Rows, p.A.Cols, len(x), len(y)))
 	}
 	results := make([]Outcome, len(p.blocks))
-	var wg sync.WaitGroup
-	for bi := range p.blocks {
-		wg.Add(1)
-		go func(bi int) {
-			defer wg.Done()
-			results[bi] = p.blocks[bi].mulVerify(p.A, y, x)
-		}(bi)
+	verify := func(bi int) {
+		results[bi] = p.blocks[bi].mulVerify(p.A, y, x)
 	}
-	wg.Wait()
+	if pl == nil {
+		for bi := range p.blocks {
+			verify(bi)
+		}
+	} else {
+		pl.ForEach(len(p.blocks), verify)
+	}
 
 	var out Outcome
 	out.Corrected = true

@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/bitflip"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// TestMulVecOnWorkerCounts verifies the pooled block execution produces the
+// same product and the same aggregate outcome for every pool size,
+// including the sequential nil pool — the per-block outcome merge must not
+// depend on scheduling.
+func TestMulVecOnWorkerCounts(t *testing.T) {
+	n := 1200
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.01, DiagShift: 1, Seed: 3})
+	p := New(a, 16)
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	want := make([]float64, n)
+	refOut := p.MulVecOn(nil, want, x)
+	if refOut.Detected {
+		t.Fatal("clean product must not detect")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		pl := pool.New(workers)
+		got := make([]float64, n)
+		out := p.MulVecOn(pl, got, x)
+		if out.Detected != refOut.Detected {
+			t.Fatalf("workers=%d: outcome %v != sequential %v", workers, out, refOut)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: y[%d] = %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentProtectedProducts runs many goroutines through one shared
+// Protected and one shared pool simultaneously, each with its own output
+// vector, while half of them face a corrupted private copy of the matrix.
+// Under -race this exercises the engine's block scheduling, the inline
+// fallback under saturation, and the per-block repair writes.
+func TestConcurrentProtectedProducts(t *testing.T) {
+	n := 900
+	clean := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.01, DiagShift: 1, Seed: 5})
+	pl := pool.New(3)
+	rng := rand.New(rand.NewSource(6))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+
+	const goroutines = 12
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine owns its matrix copy and Protected; the pool is
+			// the only shared mutable machinery.
+			a := clean.Clone()
+			prot := New(a, 8)
+			y := make([]float64, n)
+			corrupt := g%2 == 1
+			for iter := 0; iter < 10; iter++ {
+				if corrupt {
+					k := a.Rowidx[(g*37+iter*101)%n]
+					a.Val[k] = bitflip.Float64(a.Val[k], 60)
+				}
+				out := prot.MulVecOn(pl, y, x)
+				if corrupt && !out.Detected {
+					t.Errorf("goroutine %d iter %d: corruption went undetected", g, iter)
+					return
+				}
+				if !corrupt && out.Detected {
+					t.Errorf("goroutine %d iter %d: false positive", g, iter)
+					return
+				}
+				if corrupt {
+					a.CopyFrom(clean) // restore for the next round
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestTinyBlocksUnderPool shrinks blocks to a handful of rows each — far
+// more blocks than workers — and checks detection still localises the
+// faulty block deterministically.
+func TestTinyBlocksUnderPool(t *testing.T) {
+	n := 600
+	a := sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.02, DiagShift: 1, Seed: 7})
+	p := New(a, n/4) // 4-row blocks
+	pl := pool.New(4)
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+
+	k := a.Rowidx[300]
+	orig := a.Val[k]
+	a.Val[k] = bitflip.Float64(a.Val[k], 62)
+	var blocksSeen []int
+	for trial := 0; trial < 5; trial++ {
+		out := p.MulVecOn(pl, y, x)
+		if !out.Detected {
+			t.Fatalf("trial %d: flip in row 300 not detected", trial)
+		}
+		if trial == 0 {
+			blocksSeen = out.BlockErrors
+		} else if len(out.BlockErrors) != len(blocksSeen) {
+			t.Fatalf("trial %d: block error set changed: %v vs %v", trial, out.BlockErrors, blocksSeen)
+		}
+	}
+	a.Val[k] = orig
+	if out := p.MulVecOn(pl, y, x); out.Detected {
+		t.Fatal("restored matrix must verify clean")
+	}
+}

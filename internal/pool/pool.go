@@ -1,0 +1,212 @@
+// Package pool implements the shared worker-pool execution engine that the
+// hot paths of this repository run on: the blocked-checksum parallel SpMxV
+// (internal/parallel), the row-partitioned CSR products (internal/sparse),
+// the blocked vector kernels (internal/vec) and the fault-campaign fan-out
+// (internal/sim).
+//
+// The engine is a fixed set of resident worker goroutines (sized by
+// runtime.GOMAXPROCS by default) fed over an unbuffered channel. Every
+// parallel operation is expressed as a chunked range [0, n): the caller's
+// goroutine always participates in draining the chunk queue, and work is
+// only handed to a resident worker that is ready to receive it. Two
+// properties follow:
+//
+//   - No deadlock under nesting. A kernel running on a worker may itself
+//     call into the pool (e.g. a fault-campaign trial whose solver uses the
+//     parallel SpMxV); if no worker is idle the nested call simply degrades
+//     to inline execution on the calling goroutine.
+//   - No unbounded goroutine growth. The pool never spawns per-call
+//     goroutines; concurrency is bounded by the resident worker count.
+//
+// Chunk boundaries depend only on (n, grain), never on the worker count or
+// the scheduling order, so deterministic algorithms (such as the blocked
+// reductions in internal/vec) produce bitwise-identical results whether they
+// run on one goroutine or many.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable worker-pool execution engine. The zero value is not
+// usable; construct with New. A Pool may be shared freely between
+// goroutines; Run/ForEach/RunErr are safe for concurrent use. Close is the
+// only exception: it must not overlap an in-flight Run.
+type Pool struct {
+	workers int
+	start   sync.Once
+	stop    sync.Once
+	closed  atomic.Bool
+	tasks   chan func()
+}
+
+// New returns a pool with the given number of resident workers. workers <= 0
+// selects runtime.GOMAXPROCS(0). Workers are started lazily on first use.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultPool *Pool
+)
+
+// Default returns the process-wide shared pool, sized by GOMAXPROCS at first
+// use. The hot-path kernels accept any *Pool; Default is the conventional
+// choice when the caller has no reason to isolate its parallelism.
+func Default() *Pool {
+	defaultOnce.Do(func() { defaultPool = New(0) })
+	return defaultPool
+}
+
+// Workers returns the resident worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close releases the resident worker goroutines of a dedicated pool. After
+// Close, Run and friends still work but execute sequentially on the caller.
+// Close must not be called while a Run is in flight, and must not be called
+// on the shared Default pool (which lives for the process). Closing an
+// already-closed or never-started pool is a no-op.
+func (p *Pool) Close() {
+	p.stop.Do(func() {
+		p.closed.Store(true)
+		// Ensure the started state is settled so workers (if any) observe
+		// the close instead of a later Run racing ensureStarted.
+		p.start.Do(func() {})
+		if p.tasks != nil {
+			close(p.tasks)
+		}
+	})
+}
+
+// ensureStarted launches the resident workers exactly once.
+func (p *Pool) ensureStarted() {
+	p.start.Do(func() {
+		p.tasks = make(chan func())
+		for i := 0; i < p.workers; i++ {
+			go func() {
+				for task := range p.tasks {
+					task()
+				}
+			}()
+		}
+	})
+}
+
+// chunksFor splits [0, n) into equal chunks of at least grain indices,
+// capped at a small multiple of the worker count so the dynamic scheduler
+// can balance skewed chunks without drowning in dispatch overhead. The
+// returned chunk size depends only on (n, grain, workers).
+func (p *Pool) chunksFor(n, grain int) (nchunks, size int) {
+	if grain < 1 {
+		grain = 1
+	}
+	nchunks = (n + grain - 1) / grain
+	if cap := 4 * p.workers; nchunks > cap {
+		nchunks = cap
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	size = (n + nchunks - 1) / nchunks
+	nchunks = (n + size - 1) / size
+	return nchunks, size
+}
+
+// Run partitions [0, n) into chunks of at least grain indices and executes
+// fn(lo, hi) over the chunks concurrently, blocking until every chunk has
+// completed. Chunks are claimed dynamically (an atomic cursor), so uneven
+// chunk costs — e.g. nonzero-count skew across matrix row blocks — balance
+// across workers. fn must be safe to call concurrently for disjoint ranges.
+//
+// The calling goroutine always processes chunks itself, and idle resident
+// workers join it; if the pool is saturated the call degrades gracefully to
+// sequential execution instead of blocking.
+func (p *Pool) Run(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nchunks, size := p.chunksFor(n, grain)
+	if nchunks == 1 || p.workers == 1 || p.closed.Load() {
+		fn(0, n)
+		return
+	}
+	p.ensureStarted()
+
+	var cursor atomic.Int64
+	drain := func() {
+		for {
+			c := int(cursor.Add(1) - 1)
+			if c >= nchunks {
+				return
+			}
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+
+	var wg sync.WaitGroup
+	helpers := p.workers - 1
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			drain()
+		}
+		select {
+		case p.tasks <- task:
+		default:
+			// Every resident worker is busy (e.g. nested parallelism):
+			// the caller drains the queue alone rather than waiting.
+			wg.Done()
+		}
+	}
+	drain()
+	wg.Wait()
+}
+
+// ForEach executes fn(i) for every i in [0, n) across the pool, blocking
+// until all calls return. Each index is an independent unit of work; indices
+// are grouped into chunks internally and each chunk runs its indices in
+// ascending order.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.Run(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RunErr is Run for chunk bodies that can fail. All chunks execute (a
+// failing chunk does not cancel its siblings — the hot paths have no
+// mid-flight cancellation semantics); the error of the lowest-indexed
+// failing chunk is returned, making the aggregate outcome deterministic
+// under any scheduling.
+func (p *Pool) RunErr(n, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	nchunks, size := p.chunksFor(n, grain)
+	errs := make([]error, nchunks)
+	p.Run(n, grain, func(lo, hi int) {
+		errs[lo/size] = fn(lo, hi)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

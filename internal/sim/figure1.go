@@ -26,6 +26,11 @@ type Figure1Config struct {
 	Tol float64
 	// Seed bases the deterministic seeding.
 	Seed int64
+	// Workers sizes the worker pool the repetitions of each point fan out
+	// on: 0 uses the shared GOMAXPROCS-sized pool, 1 runs sequentially, any
+	// other value sizes a dedicated pool. Results are deterministic in the
+	// seed for every setting.
+	Workers int
 	// Progress, when non-nil, receives status lines.
 	Progress Progress
 }
@@ -65,6 +70,10 @@ type Figure1Series struct {
 // RunFigure1 reproduces the paper's Figure 1 on the given suite.
 func RunFigure1(cfg Figure1Config, suite []SuiteMatrix) []Figure1Series {
 	cfg = cfg.withDefaults()
+	pl := campaignPool(cfg.Workers)
+	if cfg.Workers > 1 {
+		defer pl.Close() // dedicated pool: release its workers on return
+	}
 	out := make([]Figure1Series, 0, len(suite))
 	for mi, sm := range suite {
 		a := sm.Generate(cfg.Scale)
@@ -76,7 +85,7 @@ func RunFigure1(cfg Figure1Config, suite []SuiteMatrix) []Figure1Series {
 				report(cfg.Progress, "figure1: matrix #%d (%d/%d) %v MTBF=%.0f",
 					sm.ID, mi+1, len(suite), scheme, x)
 				seed := cfg.Seed + int64(mi*100000+int(scheme)*10000+xi*100)
-				mean, samples, failures := AverageTime(a, b, scheme, alpha, 0, 0, cfg.Tol, seed, cfg.Reps)
+				mean, samples, failures := AverageTimePool(pl, a, b, scheme, alpha, 0, 0, cfg.Tol, seed, cfg.Reps)
 				_, ci := MeanCI(samples)
 				series.Points[scheme] = append(series.Points[scheme], Figure1Point{
 					MTBF: x, Mean: mean, CI95: ci, Failures: failures,

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+)
+
+// TestCampaignFanOutDeterministic runs the same fault campaign sequentially
+// and fanned out across pools of several sizes: per-trial injector seeds are
+// fixed by trial index and samples land in per-trial slots, so the sample
+// vector, mean and failure count must match exactly. Faults are injected in
+// every trial (alpha = 1/16), so under -race this doubles as the campaign
+// concurrency stress test.
+func TestCampaignFanOutDeterministic(t *testing.T) {
+	sm, _ := SuiteByID(341)
+	a := sm.Generate(96)
+	b, _ := RHS(a, 3)
+
+	const reps = 8
+	wantMean, wantSamples, wantFailures := AverageTimePool(nil, a, b, core.ABFTCorrection, 1.0/16, 2, 1, 1e-8, 77, reps)
+	for _, workers := range []int{1, 2, 4} {
+		p := pool.New(workers)
+		mean, samples, failures := AverageTimePool(p, a, b, core.ABFTCorrection, 1.0/16, 2, 1, 1e-8, 77, reps)
+		if mean != wantMean || failures != wantFailures {
+			t.Fatalf("workers=%d: mean/failures %v/%d, want %v/%d", workers, mean, failures, wantMean, wantFailures)
+		}
+		if len(samples) != len(wantSamples) {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, len(samples), len(wantSamples))
+		}
+		for i := range samples {
+			if samples[i] != wantSamples[i] {
+				t.Fatalf("workers=%d: sample %d = %v, want %v", workers, i, samples[i], wantSamples[i])
+			}
+		}
+	}
+}
+
+// TestAverageTimeMatchesPooledSequential pins the compatibility contract:
+// the legacy AverageTime entry point is AverageTimePool with a nil pool.
+func TestAverageTimeMatchesPooledSequential(t *testing.T) {
+	sm, _ := SuiteByID(2213)
+	a := sm.Generate(96)
+	b, _ := RHS(a, 5)
+	m1, s1, f1 := AverageTime(a, b, core.ABFTDetection, 1.0/16, 2, 1, 1e-8, 9, 3)
+	m2, s2, f2 := AverageTimePool(nil, a, b, core.ABFTDetection, 1.0/16, 2, 1, 1e-8, 9, 3)
+	if m1 != m2 || f1 != f2 || len(s1) != len(s2) {
+		t.Fatalf("AverageTime diverged from nil-pool AverageTimePool: %v/%d vs %v/%d", m1, f1, m2, f2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+// TestCampaignWorkersKnob checks the Workers resolution used by the
+// experiment configs.
+func TestCampaignWorkersKnob(t *testing.T) {
+	if campaignPool(1) != nil {
+		t.Fatal("Workers=1 must run sequentially (nil pool)")
+	}
+	if p := campaignPool(3); p == nil || p.Workers() != 3 {
+		t.Fatal("Workers=3 must size a dedicated pool")
+	}
+	if p := campaignPool(0); p != pool.Default() {
+		t.Fatal("Workers=0 must select the shared default pool")
+	}
+}

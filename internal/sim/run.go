@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 )
 
@@ -23,20 +24,60 @@ func RunOnce(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d
 	return st, err
 }
 
-// AverageTime runs `reps` independent solves (distinct injector seeds) and
-// returns the mean simulated execution time and the raw samples. Runs that
-// fail to converge are charged at their (large) accumulated time — exactly
-// what an operator would experience — and counted.
+// AverageTime runs `reps` independent solves (distinct injector seeds)
+// sequentially and returns the mean simulated execution time and the raw
+// samples. Runs that fail to converge are charged at their (large)
+// accumulated time — exactly what an operator would experience — and
+// counted.
 func AverageTime(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, baseSeed int64, reps int) (mean float64, samples []float64, failures int) {
-	samples = make([]float64, 0, reps)
-	for rep := 0; rep < reps; rep++ {
+	return AverageTimePool(nil, a, b, scheme, alpha, s, d, tol, baseSeed, reps)
+}
+
+// AverageTimePool is AverageTime with the independent trials fanned out
+// across the worker pool (nil runs them sequentially on the caller). Each
+// trial owns a fresh injector seeded deterministically by its index and the
+// solver clones the matrix internally, so trials share only read-only
+// state; samples land in per-trial slots and are aggregated in index order,
+// making mean, samples and the failure count identical for any worker
+// count.
+func AverageTimePool(p *pool.Pool, a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, baseSeed int64, reps int) (mean float64, samples []float64, failures int) {
+	if reps < 0 {
+		reps = 0
+	}
+	samples = make([]float64, reps)
+	failed := make([]bool, reps)
+	trial := func(rep int) {
 		st, err := RunOnce(a, b, scheme, alpha, s, d, tol, baseSeed+int64(rep)*7919)
-		if err != nil {
+		samples[rep] = st.SimTime
+		failed[rep] = err != nil
+	}
+	if p == nil {
+		for rep := 0; rep < reps; rep++ {
+			trial(rep)
+		}
+	} else {
+		p.ForEach(reps, trial)
+	}
+	for _, f := range failed {
+		if f {
 			failures++
 		}
-		samples = append(samples, st.SimTime)
 	}
 	return Mean(samples), samples, failures
+}
+
+// campaignPool resolves the Workers knob shared by the experiment configs:
+// 0 selects the process-wide default pool, 1 forces sequential execution,
+// and any other value sizes a dedicated pool.
+func campaignPool(workers int) *pool.Pool {
+	switch {
+	case workers == 1:
+		return nil
+	case workers > 1:
+		return pool.New(workers)
+	default:
+		return pool.Default()
+	}
 }
 
 // Progress is an optional hook the long-running experiments call with a

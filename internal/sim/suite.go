@@ -6,7 +6,10 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"repro/internal/sparse"
 )
@@ -46,6 +49,28 @@ func SuiteByID(id int) (SuiteMatrix, bool) {
 		}
 	}
 	return SuiteMatrix{}, false
+}
+
+// SelectSuite resolves a comma-separated list of UFL ids against the paper
+// suite; an empty string selects all nine matrices. The experiment commands
+// share it for their -matrices flags.
+func SelectSuite(ids string) ([]SuiteMatrix, error) {
+	if ids == "" {
+		return PaperSuite, nil
+	}
+	var suite []SuiteMatrix
+	for _, part := range strings.Split(ids, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad matrix id %q: %v", part, err)
+		}
+		m, ok := SuiteByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown matrix id %d", id)
+		}
+		suite = append(suite, m)
+	}
+	return suite, nil
 }
 
 // ScaledN returns the dimension after downscaling by `scale` (≥ 1). The

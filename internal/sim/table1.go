@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/pool"
 	"repro/internal/sparse"
 )
 
@@ -31,6 +32,11 @@ type Table1Config struct {
 	Tol float64
 	// Seed bases the deterministic seeding.
 	Seed int64
+	// Workers sizes the worker pool the repetitions of each cell fan out
+	// on: 0 uses the shared GOMAXPROCS-sized pool, 1 runs sequentially, any
+	// other value sizes a dedicated pool. Results are deterministic in the
+	// seed for every setting.
+	Workers int
 	// Progress, when non-nil, receives status lines.
 	Progress Progress
 }
@@ -72,6 +78,10 @@ type Table1Row struct {
 // RunTable1 reproduces the paper's Table 1 on the given suite.
 func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
 	cfg = cfg.withDefaults()
+	pl := campaignPool(cfg.Workers)
+	if cfg.Workers > 1 {
+		defer pl.Close() // dedicated pool: release its workers on return
+	}
 	rows := make([]Table1Row, 0, len(suite))
 	for mi, sm := range suite {
 		a := sm.Generate(cfg.Scale)
@@ -80,7 +90,7 @@ func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
 
 		for si, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
 			report(cfg.Progress, "table1: matrix #%d (%d/%d) scheme %v", sm.ID, mi+1, len(suite), scheme)
-			eval := evalScheme(cfg, a, b, scheme, cfg.Seed+int64(mi*1000+si*100))
+			eval := evalScheme(cfg, pl, a, b, scheme, cfg.Seed+int64(mi*1000+si*100))
 			if scheme == core.ABFTDetection {
 				row.Det = eval
 			} else {
@@ -96,7 +106,7 @@ func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
 // the empirically best s* and fills the evaluation cells. The same injector
 // seeds are reused across all candidate intervals, so the comparison is
 // paired (common random numbers), like rerunning the same fault trace.
-func evalScheme(cfg Table1Config, a *sparse.CSR, b []float64, scheme core.Scheme, seed int64) SchemeEval {
+func evalScheme(cfg Table1Config, pl *pool.Pool, a *sparse.CSR, b []float64, scheme core.Scheme, seed int64) SchemeEval {
 	_, sTilde := core.OptimalIntervals(a, scheme, cfg.Alpha, core.DefaultCostParams())
 
 	grid := sGrid(sTilde)
@@ -104,7 +114,7 @@ func evalScheme(cfg Table1Config, a *sparse.CSR, b []float64, scheme core.Scheme
 	eval.STilde = sTilde
 	bestTime, bestS := 0.0, 0
 	for _, s := range grid {
-		mean, _, _ := AverageTime(a, b, scheme, cfg.Alpha, s, 1, cfg.Tol, seed, cfg.Reps)
+		mean, _, _ := AverageTimePool(pl, a, b, scheme, cfg.Alpha, s, 1, cfg.Tol, seed, cfg.Reps)
 		if s == sTilde {
 			eval.EtTilde = mean
 		}

@@ -1,0 +1,81 @@
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/pool"
+)
+
+// ParallelMinRows is the row-count cutoff below which the parallel products
+// fall back to their sequential counterparts: under it the SpMxV fits in
+// cache and pool dispatch costs more than it saves. The resilient drivers in
+// internal/core use the same cutoff to decide whether an iteration's
+// products go through the pool.
+const ParallelMinRows = 2048
+
+// parallelRowGrain is the minimum number of rows per scheduled chunk.
+// Chunks are claimed dynamically, so nonzero skew across row ranges is
+// balanced by the pool rather than by a static nnz partition.
+const parallelRowGrain = 256
+
+// MulVecParallel computes y ← Ax with the row range executed across the
+// pool. Every output row is computed by exactly the same left-to-right
+// accumulation as MulVec, and rows are written to disjoint slices of y, so
+// the result is bitwise identical to the sequential product for any worker
+// count. A nil pool, a single-worker pool or a small matrix all run
+// sequentially.
+func (m *CSR) MulVecParallel(p *pool.Pool, y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecParallel dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	if p == nil || p.Workers() == 1 || m.Rows < ParallelMinRows {
+		m.MulVec(y, x)
+		return
+	}
+	p.Run(m.Rows, parallelRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+				s += m.Val[k] * x[m.Colid[k]]
+			}
+			y[i] = s
+		}
+	})
+}
+
+// MulVecRobustParallel is MulVecParallel with MulVecRobust's tolerance of a
+// corrupted representation: row pointer ranges are clamped and out-of-range
+// column indices contribute nothing, so a bit flip in Colid or Rowidx
+// perturbs the product instead of crashing a worker. Row i's accumulation
+// order matches MulVecRobust exactly, so sequential and parallel execution
+// agree bitwise.
+func (m *CSR) MulVecRobustParallel(p *pool.Pool, y, x []float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecRobustParallel dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	if p == nil || p.Workers() == 1 || m.Rows < ParallelMinRows {
+		m.MulVecRobust(y, x)
+		return
+	}
+	nnz := len(m.Val)
+	p.Run(m.Rows, parallelRowGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rlo, rhi := m.Rowidx[i], m.Rowidx[i+1]
+			if rlo < 0 {
+				rlo = 0
+			}
+			if rhi > nnz {
+				rhi = nnz
+			}
+			var s float64
+			for k := rlo; k < rhi; k++ {
+				if ind := m.Colid[k]; uint(ind) < uint(len(x)) {
+					s += m.Val[k] * x[ind]
+				}
+			}
+			y[i] = s
+		}
+	})
+}

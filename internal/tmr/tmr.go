@@ -12,7 +12,10 @@
 // a chosen replica.
 package tmr
 
-import "repro/internal/vec"
+import (
+	"repro/internal/pool"
+	"repro/internal/vec"
+)
 
 // Executor runs vector kernels in triple modular redundancy.
 type Executor struct {
@@ -20,6 +23,13 @@ type Executor struct {
 	// index (0–2) and the scalar result or output vector, and may perturb it
 	// to simulate a transient computation fault in that replica.
 	Corrupt func(replica int, scalar *float64, vector []float64)
+
+	// Pool, when non-nil, executes each replica's kernel across the worker
+	// pool using the deterministic blocked variants from internal/vec, so
+	// the three replicas stay bit-identical (the voting invariant) while the
+	// O(n) work runs concurrently. Nil runs the same blocked kernels
+	// sequentially — same bits, one goroutine.
+	Pool *pool.Pool
 
 	votes      int64
 	mismatches int64
@@ -48,7 +58,7 @@ func (e *Executor) voteScalar(a, b, c float64) float64 {
 func (e *Executor) Dot(a, b []float64) float64 {
 	var r [3]float64
 	for i := 0; i < 3; i++ {
-		r[i] = vec.Dot(a, b)
+		r[i] = vec.DotPool(e.Pool, a, b)
 		if e.Corrupt != nil {
 			e.Corrupt(i, &r[i], nil)
 		}
@@ -60,7 +70,7 @@ func (e *Executor) Dot(a, b []float64) float64 {
 func (e *Executor) Norm2Sq(a []float64) float64 {
 	var r [3]float64
 	for i := 0; i < 3; i++ {
-		r[i] = vec.Norm2Sq(a)
+		r[i] = vec.Norm2SqPool(e.Pool, a)
 		if e.Corrupt != nil {
 			e.Corrupt(i, &r[i], nil)
 		}
@@ -73,14 +83,14 @@ func (e *Executor) Norm2Sq(a []float64) float64 {
 func (e *Executor) Axpy(alpha float64, x, y []float64) {
 	e.applyVoted(y, func(dst []float64) {
 		copy(dst, y)
-		vec.Axpy(alpha, x, dst)
+		vec.AxpyPool(e.Pool, alpha, x, dst)
 	})
 }
 
 // AxpyTo computes dst ← y + alpha·x with TMR.
 func (e *Executor) AxpyTo(dst []float64, alpha float64, x, y []float64) {
 	e.applyVoted(dst, func(out []float64) {
-		vec.AxpyTo(out, alpha, x, y)
+		vec.AxpyToPool(e.Pool, out, alpha, x, y)
 	})
 }
 
@@ -88,7 +98,7 @@ func (e *Executor) AxpyTo(dst []float64, alpha float64, x, y []float64) {
 func (e *Executor) Xpay(alpha float64, x, y []float64) {
 	e.applyVoted(y, func(dst []float64) {
 		copy(dst, y)
-		vec.Xpay(alpha, x, dst)
+		vec.XpayPool(e.Pool, alpha, x, dst)
 	})
 }
 

@@ -1,0 +1,96 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/pool"
+)
+
+func randSlice(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+// TestBlockedReductionsDeterministic is the core determinism contract: the
+// pooled reductions must be bitwise identical to their nil-pool (sequential
+// blocked) execution for every worker count, including lengths that are not
+// block-aligned.
+func TestBlockedReductionsDeterministic(t *testing.T) {
+	for _, n := range []int{1, BlockSize - 1, BlockSize, BlockSize + 1, 3*BlockSize + 17, 10 * BlockSize} {
+		a := randSlice(n, 1)
+		b := randSlice(n, 2)
+		wantDot := DotPool(nil, a, b)
+		wantNorm := Norm2SqPool(nil, a)
+		for _, workers := range []int{1, 2, 3, 8} {
+			p := pool.New(workers)
+			for trial := 0; trial < 5; trial++ {
+				if got := DotPool(p, a, b); got != wantDot {
+					t.Fatalf("n=%d workers=%d: DotPool = %v, want %v", n, workers, got, wantDot)
+				}
+				if got := Norm2SqPool(p, a); got != wantNorm {
+					t.Fatalf("n=%d workers=%d: Norm2SqPool = %v, want %v", n, workers, got, wantNorm)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestSingleBlockMatchesPlainKernels pins the small-vector identity the TMR
+// tests and the solvers rely on: under one block the blocked kernels are the
+// plain kernels, bit for bit.
+func TestSingleBlockMatchesPlainKernels(t *testing.T) {
+	a := randSlice(BlockSize, 3)
+	b := randSlice(BlockSize, 4)
+	if DotPool(nil, a, b) != Dot(a, b) {
+		t.Fatal("single-block DotPool must equal plain Dot")
+	}
+	if Norm2SqPool(nil, a) != Norm2Sq(a) {
+		t.Fatal("single-block Norm2SqPool must equal plain Norm2Sq")
+	}
+}
+
+// TestElementwisePoolKernels checks the parallel element-wise updates
+// against their sequential counterparts — element-wise kernels are
+// deterministic by construction, so equality must be exact.
+func TestElementwisePoolKernels(t *testing.T) {
+	const n = 3*BlockSize + 5
+	p := pool.New(4)
+	x := randSlice(n, 5)
+
+	ySeq := randSlice(n, 6)
+	yPar := append([]float64(nil), ySeq...)
+	Axpy(0.75, x, ySeq)
+	AxpyPool(p, 0.75, x, yPar)
+	if !Equal(ySeq, yPar) {
+		t.Fatal("AxpyPool differs from Axpy")
+	}
+
+	Xpay(-1.25, x, ySeq)
+	XpayPool(p, -1.25, x, yPar)
+	if !Equal(ySeq, yPar) {
+		t.Fatal("XpayPool differs from Xpay")
+	}
+
+	dstSeq := make([]float64, n)
+	dstPar := make([]float64, n)
+	AxpyTo(dstSeq, 2.5, x, ySeq)
+	AxpyToPool(p, dstPar, 2.5, x, yPar)
+	if !Equal(dstSeq, dstPar) {
+		t.Fatal("AxpyToPool differs from AxpyTo")
+	}
+}
+
+func TestPoolKernelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DotPool must panic on length mismatch")
+		}
+	}()
+	DotPool(nil, make([]float64, 3), make([]float64, 4))
+}
