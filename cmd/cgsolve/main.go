@@ -3,9 +3,10 @@
 // reports the execution statistics.
 //
 // The matrix comes from a Matrix Market file (-matrix) or from a built-in
-// generator (-gen poisson2d|poisson3d|laplacian|suite:<id>). The right-hand
-// side is manufactured from a random solution, so the reported solution
-// error is exact.
+// generator (-gen poisson2d|poisson3d|tridiag|laplacian|randomspd|
+// suite:<id>), resolved through the harness matrix-spec grammar. The
+// right-hand side is manufactured from a random solution, so the reported
+// solution error is exact.
 //
 // Examples:
 //
@@ -19,13 +20,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/harness"
 	"repro/internal/pool"
-	"repro/internal/sim"
 	"repro/internal/sparse"
 	"repro/internal/vec"
 )
@@ -42,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		matrixPath = fs.String("matrix", "", "Matrix Market file with an SPD matrix")
-		gen        = fs.String("gen", "poisson2d", "generator when -matrix is empty: poisson2d, poisson3d, laplacian, suite:<id>")
+		gen        = fs.String("gen", "poisson2d", "generator when -matrix is empty: poisson2d, poisson3d, tridiag, laplacian, randomspd, suite:<id>")
 		n          = fs.Int("n", 10000, "target dimension for generated matrices")
 		schemeName = fs.String("scheme", "abft-correction", "resilience scheme: online-detection, abft-detection, abft-correction")
 		alpha      = fs.Float64("alpha", 0, "expected silent errors per iteration (0 = fault-free)")
@@ -66,7 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	b, xTrue := sim.RHS(a, *seed)
+	b, xTrue := harness.RHS(a, *seed)
 	cfg := core.Config{Scheme: scheme, S: *s, D: *d, Tol: *tol}
 	if *alpha > 0 {
 		cfg.Injector = fault.New(fault.Config{Alpha: *alpha, Seed: *seed})
@@ -95,68 +95,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return solveErr
 }
 
+// loadMatrix resolves -matrix / -gen through the harness matrix specs,
+// keeping the historical laplacian parameters (shift 0.01, seed 42).
 func loadMatrix(path, gen string, n int) (*sparse.CSR, error) {
 	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return sparse.ReadMatrixMarket(f)
+		return harness.FileMatrixSpec(path).Build()
 	}
-	switch {
-	case gen == "poisson2d":
-		side := intSqrt(n)
-		return sparse.Poisson2D(side, side), nil
-	case gen == "poisson3d":
-		side := intCbrt(n)
-		return sparse.Poisson3D(side, side, side), nil
-	case gen == "laplacian":
-		return sparse.RandomGraphLaplacian(n, 6, 0.01, 42), nil
-	case strings.HasPrefix(gen, "suite:"):
-		id, err := strconv.Atoi(strings.TrimPrefix(gen, "suite:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad suite id in %q", gen)
-		}
-		m, ok := sim.SuiteByID(id)
-		if !ok {
-			return nil, fmt.Errorf("unknown suite matrix %d", id)
-		}
-		scale := 1
-		if n > 0 && n < m.N {
-			scale = m.N / n
-		}
-		return m.Generate(scale), nil
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
+	ms, err := harness.NewMatrixSpec(gen, n, 42)
+	if err != nil {
+		return nil, err
 	}
+	if ms.Gen == "laplacian" {
+		ms.Shift = 0.01
+	}
+	return ms.Build()
 }
 
+// parseScheme resolves the resilient scheme slugs (case-insensitively, so
+// historical spellings like "ABFT-Correction" keep working). The
+// unprotected baseline is resbench territory, not a resilient solve.
 func parseScheme(name string) (core.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "online-detection", "online":
-		return core.OnlineDetection, nil
-	case "abft-detection", "abft-d":
-		return core.ABFTDetection, nil
-	case "abft-correction", "abft-c":
-		return core.ABFTCorrection, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q", name)
+	scheme, unprotected, err := harness.ParseScheme(strings.ToLower(name))
+	if err != nil {
+		return 0, err
 	}
-}
-
-func intSqrt(n int) int {
-	s := 1
-	for s*s < n {
-		s++
+	if unprotected {
+		return 0, fmt.Errorf("unknown scheme %q (cgsolve runs the resilient schemes; use resbench for unprotected baselines)", name)
 	}
-	return s
-}
-
-func intCbrt(n int) int {
-	s := 1
-	for s*s*s < n {
-		s++
-	}
-	return s
+	return scheme, nil
 }

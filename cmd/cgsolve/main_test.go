@@ -83,20 +83,12 @@ func TestRunArgs(t *testing.T) {
 
 func TestParseScheme(t *testing.T) {
 	for name, want := range map[string]struct{ ok bool }{
-		"online": {true}, "abft-d": {true}, "ABFT-Correction": {true}, "bogus": {false},
+		"online": {true}, "abft-d": {true}, "ABFT-Correction": {true},
+		"bogus": {false}, "unprotected": {false}, "": {false},
 	} {
 		_, err := parseScheme(name)
 		if (err == nil) != want.ok {
 			t.Errorf("parseScheme(%q) err = %v", name, err)
 		}
-	}
-}
-
-func TestIntRoots(t *testing.T) {
-	if intSqrt(100) != 10 || intSqrt(101) != 11 {
-		t.Fatal("intSqrt rounds up to the covering side")
-	}
-	if intCbrt(27) != 3 || intCbrt(28) != 4 {
-		t.Fatal("intCbrt rounds up to the covering side")
 	}
 }

@@ -7,9 +7,10 @@
 //
 //	faultsim -scale 32 -reps 10 -points 5
 //
-// Full paper-scale reproduction (slow):
+// Full paper-scale reproduction (slow), with the machine-readable harness
+// records alongside the CSV:
 //
-//	faultsim -scale 1 -reps 50 -points 7 -csv figure1.csv
+//	faultsim -scale 1 -reps 50 -points 7 -csv figure1.csv -json figure1.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/harness"
 	"repro/internal/sim"
 )
 
@@ -39,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base RNG seed")
 		workers  = fs.Int("workers", 0, "worker pool size for the trial fan-out: 0 = GOMAXPROCS, 1 = sequential")
 		csvPath  = fs.String("csv", "", "write CSV to this path (default: text to stdout only)")
+		jsonPath = fs.String("json", "", "write the per-cell harness result records (JSON) to this path")
 		matrices = fs.String("matrices", "", "comma-separated UFL ids (default: all nine)")
 		quiet    = fs.Bool("q", false, "suppress progress output")
 	)
@@ -65,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	series := sim.RunFigure1(cfg, suite)
+	series, records := sim.RunFigure1Results(cfg, suite)
 	if err := sim.WriteFigure1Text(stdout, series); err != nil {
 		return err
 	}
@@ -79,6 +82,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := harness.WriteResults(f, records); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *jsonPath)
 	}
 	return nil
 }

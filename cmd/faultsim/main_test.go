@@ -7,15 +7,18 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/sim"
 )
 
 func TestRunSmallSweep(t *testing.T) {
-	csv := filepath.Join(t.TempDir(), "fig1.csv")
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "fig1.csv")
+	jsonPath := filepath.Join(dir, "fig1.json")
 	var stdout, stderr bytes.Buffer
 	args := []string{
 		"-scale", "128", "-reps", "1", "-points", "2",
-		"-matrices", "341", "-seed", "2", "-q", "-csv", csv,
+		"-matrices", "341", "-seed", "2", "-q", "-csv", csv, "-json", jsonPath,
 	}
 	if err := run(args, &stdout, &stderr); err != nil {
 		t.Fatalf("run(%v) failed: %v", args, err)
@@ -33,6 +36,23 @@ func TestRunSmallSweep(t *testing.T) {
 	// 1 matrix x 3 schemes x 2 points + header.
 	if lines := strings.Count(strings.TrimSpace(string(data)), "\n"); lines != 6 {
 		t.Fatalf("CSV has %d data rows, want 6", lines)
+	}
+	f, err := os.Open(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := harness.ReadResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 6 {
+		t.Fatalf("JSON has %d records, want one per cell (6)", len(records))
+	}
+	for _, r := range records {
+		if r.Schema != harness.SchemaVersion || !strings.HasPrefix(r.Scenario.Name, "figure1/m341/") {
+			t.Fatalf("unexpected record: %+v", r.Scenario)
+		}
 	}
 }
 

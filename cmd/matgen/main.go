@@ -1,6 +1,8 @@
 // Command matgen generates the synthetic test matrices (the paper-suite
 // stand-ins and the other built-in generators) as Matrix Market files, so
-// other tools and external solvers can consume identical inputs.
+// other tools and external solvers can consume identical inputs. Generator
+// names resolve through the harness matrix-spec grammar, so matgen emits
+// exactly the matrices the scenarios run on.
 //
 // Examples:
 //
@@ -15,10 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
-	"repro/internal/sim"
+	"repro/internal/harness"
 	"repro/internal/sparse"
 )
 
@@ -33,7 +33,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("matgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		gen   = fs.String("gen", "", "generator: suite:<id>, poisson2d, poisson3d, laplacian, randomspd")
+		gen   = fs.String("gen", "", "generator: suite:<id>, poisson2d, poisson3d, tridiag, laplacian, randomspd")
 		n     = fs.Int("n", 4096, "dimension for non-suite generators")
 		scale = fs.Int("scale", 16, "downscale factor for suite matrices")
 		out   = fs.String("o", "", "output file (default stdout)")
@@ -46,7 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *suite {
-		for _, sm := range sim.PaperSuite {
+		for _, sm := range harness.PaperSuite {
 			a := sm.Generate(*scale)
 			path := filepath.Join(*dir, fmt.Sprintf("suite_%d_scale%d.mtx", sm.ID, *scale))
 			if err := writeTo(path, a); err != nil {
@@ -71,39 +71,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// build resolves the generator through the harness matrix specs (suite
+// matrices take the explicit -scale; matgen's laplacian historically uses
+// a zero diagonal shift, which the spec's zero value already encodes).
 func build(gen string, n, scale int, seed int64) (*sparse.CSR, error) {
-	switch {
-	case strings.HasPrefix(gen, "suite:"):
-		id, err := strconv.Atoi(strings.TrimPrefix(gen, "suite:"))
-		if err != nil {
-			return nil, fmt.Errorf("bad suite id in %q", gen)
-		}
-		sm, ok := sim.SuiteByID(id)
-		if !ok {
-			return nil, fmt.Errorf("unknown suite matrix %d", id)
-		}
-		return sm.Generate(scale), nil
-	case gen == "poisson2d":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return sparse.Poisson2D(side, side), nil
-	case gen == "poisson3d":
-		side := 1
-		for side*side*side < n {
-			side++
-		}
-		return sparse.Poisson3D(side, side, side), nil
-	case gen == "laplacian":
-		return sparse.RandomGraphLaplacian(n, 6, 0, seed), nil
-	case gen == "randomspd":
-		return sparse.RandomSPD(sparse.RandomSPDOptions{N: n, Density: 0.01, DiagShift: 0.5, Seed: seed}), nil
-	case gen == "":
+	if gen == "" {
 		return nil, fmt.Errorf("need -gen or -suite")
-	default:
-		return nil, fmt.Errorf("unknown generator %q", gen)
 	}
+	ms, err := harness.NewMatrixSpec(gen, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if ms.Gen == "suite" {
+		ms.N = 0
+		ms.Scale = scale
+	}
+	return ms.Build()
 }
 
 func writeTo(path string, a *sparse.CSR) error {

@@ -19,8 +19,8 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/model"
-	"repro/internal/sim"
 )
 
 func main() {
@@ -47,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *suiteID != 0 {
-		sm, ok := sim.SuiteByID(*suiteID)
+		sm, ok := harness.SuiteByID(*suiteID)
 		if !ok {
 			return fmt.Errorf("unknown suite matrix %d", *suiteID)
 		}

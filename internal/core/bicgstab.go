@@ -35,6 +35,10 @@ type BiCGstabConfig struct {
 	// Pool, as in Config, runs the hot kernels across the worker pool with
 	// deterministic blocked arithmetic.
 	Pool *pool.Pool
+	// OnIteration, when non-nil, is called after every useful iteration with
+	// the iteration count and the current BiCG recurrence scalar ρ. The
+	// harness uses it to fingerprint the iterate trajectory.
+	OnIteration func(it int, rho float64)
 }
 
 // SolveBiCGstab runs the resilient BiCGstab on Ax = b for general
@@ -261,6 +265,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			copy(r, sv)
 			rGuard.Refresh(r)
 			it++
+			if cfg.OnIteration != nil {
+				cfg.OnIteration(it, rho)
+			}
 			continue // the top-of-loop confirmation validates it
 		}
 
@@ -300,6 +307,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		rGuard.Refresh(r)
 
 		it++
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(it, rho)
+		}
 		if it > highWater {
 			highWater = it
 			stuck = 0

@@ -66,6 +66,11 @@ func cgFlopsPerIter(a *sparse.CSR) int64 {
 	return a.FlopsMulVec() + 2*(2*n) + 3*(2*n)
 }
 
+// CGFlopsPerIter exposes the raw per-iteration flop count of CG on this
+// matrix — the quantity Titer is priced from. Campaign records report it so
+// modeled times can be converted back into work.
+func CGFlopsPerIter(a *sparse.CSR) int64 { return cgFlopsPerIter(a) }
+
 // checkpointWords is the snapshot size: the three matrix arrays plus the
 // three iteration vectors (x, r, p) — identical for all three methods, as
 // the paper notes.

@@ -1,0 +1,79 @@
+package harness
+
+import "fmt"
+
+// The built-in catalog: a smoke tier small enough for CI to run on every
+// push (exercising every axis — solvers, schemes, generators, fault rates)
+// and a sweep tier for quick local fault-rate scans. Campaign-scale
+// scenarios (the paper's Table 1 and Figure 1 cells) are registered by
+// internal/sim on top of these.
+func init() {
+	for _, scheme := range []string{"unprotected", "online-detection", "abft-detection", "abft-correction"} {
+		alpha := 1.0 / 64
+		if scheme == "unprotected" {
+			alpha = 0
+		}
+		MustRegister(Scenario{
+			Name:        "smoke/cg/" + scheme + "/poisson2d",
+			Description: fmt.Sprintf("CG %s on a 30×30 Poisson stencil, α=%g", scheme, alpha),
+			Tags:        []string{"smoke", "ci"},
+			Matrix:      MatrixSpec{Gen: "poisson2d", N: 900},
+			Solver:      "cg",
+			Scheme:      scheme,
+			Alpha:       alpha,
+			Reps:        3,
+			Seed:        1,
+			Baseline:    scheme != "unprotected",
+		})
+	}
+	MustRegister(Scenario{
+		Name:        "smoke/pcg/abft-correction/suite2213",
+		Description: "Jacobi-PCG ABFT-Correction on the downscaled suite matrix #2213",
+		Tags:        []string{"smoke", "ci"},
+		Matrix:      MatrixSpec{Gen: "suite", ID: 2213, Scale: 96},
+		Solver:      "pcg",
+		Precond:     "jacobi",
+		Scheme:      "abft-correction",
+		Alpha:       1.0 / 32,
+		Reps:        3,
+		Seed:        1,
+		Baseline:    true,
+	})
+	MustRegister(Scenario{
+		Name:        "smoke/bicgstab/abft-detection/randomspd",
+		Description: "BiCGstab ABFT-Detection on a random banded SPD matrix",
+		Tags:        []string{"smoke", "ci"},
+		Matrix:      MatrixSpec{Gen: "randomspd", N: 600, Seed: 42},
+		Solver:      "bicgstab",
+		Scheme:      "abft-detection",
+		Alpha:       1.0 / 64,
+		Reps:        3,
+		Seed:        1,
+		Baseline:    true,
+	})
+	MustRegister(Scenario{
+		Name:        "smoke/cg/abft-correction/tridiag",
+		Description: "Fault-free CG ABFT-Correction on the 1D Laplacian",
+		Tags:        []string{"smoke", "ci"},
+		Matrix:      MatrixSpec{Gen: "tridiag", N: 400},
+		Solver:      "cg",
+		Scheme:      "abft-correction",
+		Reps:        1,
+		Seed:        1,
+		Baseline:    true,
+	})
+	for _, mtbf := range []float64{100, 1000, 10000} {
+		MustRegister(Scenario{
+			Name:        fmt.Sprintf("sweep/cg/abft-correction/suite341/mtbf%g", mtbf),
+			Description: fmt.Sprintf("CG ABFT-Correction on suite #341 (scale 96) at MTBF %g", mtbf),
+			Tags:        []string{"sweep"},
+			Matrix:      MatrixSpec{Gen: "suite", ID: 341, Scale: 96},
+			Solver:      "cg",
+			Scheme:      "abft-correction",
+			Alpha:       1 / mtbf,
+			Reps:        5,
+			Seed:        1,
+			Baseline:    true,
+		})
+	}
+}

@@ -1,0 +1,434 @@
+// Package harness is the scenario subsystem behind every experiment and
+// benchmark in this repository: it composes the existing axes — matrix
+// generators, solvers (CG, PCG, BiCGstab), protection schemes (the three
+// resilient methods plus the unprotected baseline), the silent-error
+// injector and worker counts — into named, seeded, reproducible scenarios
+// with a typed, schema-versioned JSON result record.
+//
+// The experiment packages (internal/sim) define the paper's Table 1 and
+// Figure 1 campaigns as harness scenarios, cmd/resbench lists and runs
+// registered scenarios (optionally sharded across processes, with an
+// aggregator that merges shard outputs), and CI drives a smoke campaign
+// whose records gate regressions.
+//
+// Every scenario is deterministic in its seed: the solver kernels use
+// deterministic blocked arithmetic and per-trial injector seeds are fixed
+// by trial index, so a record's canonical form (wall time excluded) is
+// bitwise identical for any worker count.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/pool"
+	"repro/internal/precond"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// Scenario names one reproducible experiment cell: a matrix, a solver, a
+// protection scheme, a fault rate and the seeding. The zero value of every
+// optional field selects a sensible default (see withDefaults).
+type Scenario struct {
+	// Name uniquely identifies the scenario in the registry and in result
+	// records, conventionally path-like: "smoke/cg/abft-correction/poisson2d".
+	Name string `json:"name"`
+	// Description is a one-line summary for listings.
+	Description string `json:"description,omitempty"`
+	// Tags support substring filtering beyond the name.
+	Tags []string `json:"tags,omitempty"`
+	// Matrix names the matrix source.
+	Matrix MatrixSpec `json:"matrix"`
+	// Solver is cg (default), pcg or bicgstab.
+	Solver string `json:"solver,omitempty"`
+	// Precond is the PCG preconditioner: jacobi (default) or neumann.
+	Precond string `json:"precond,omitempty"`
+	// Scheme is unprotected, online-detection, abft-detection or
+	// abft-correction (default).
+	Scheme string `json:"scheme,omitempty"`
+	// Alpha is the expected silent errors per iteration (0 = fault-free).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Tol is the relative residual tolerance (0 = the solver default, 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIters caps the useful iterations (0 = the solver default).
+	MaxIters int `json:"max_iters,omitempty"`
+	// S and D override the model-optimal checkpoint and verification
+	// intervals when > 0.
+	S int `json:"s,omitempty"`
+	D int `json:"d,omitempty"`
+	// Reps is the number of independent trials (default 1). Trial i uses
+	// injector seed Seed + i·7919.
+	Reps int `json:"reps,omitempty"`
+	// Seed bases the deterministic trial seeding.
+	Seed int64 `json:"seed,omitempty"`
+	// RHSSeed, when set, seeds the manufactured right-hand side instead of
+	// Seed. A pointer so that every value — including 0 — is expressible:
+	// campaigns share one RHS across cells whose trial seeds differ (see
+	// WithRHSSeed).
+	RHSSeed *int64 `json:"rhs_seed,omitempty"`
+	// Baseline requests an additional fault-free unprotected reference solve
+	// so the record reports the protection overhead.
+	Baseline bool `json:"baseline,omitempty"`
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Solver == "" {
+		sc.Solver = "cg"
+	}
+	if sc.Scheme == "" {
+		sc.Scheme = "abft-correction"
+	}
+	if sc.Solver == "pcg" && sc.Precond == "" {
+		sc.Precond = "jacobi"
+	}
+	if sc.Reps < 1 {
+		sc.Reps = 1
+	}
+	return sc
+}
+
+func (sc Scenario) rhsSeed() int64 {
+	if sc.RHSSeed != nil {
+		return *sc.RHSSeed
+	}
+	return sc.Seed
+}
+
+// WithRHSSeed pins the right-hand-side seed (any value, 0 included),
+// decoupling it from the per-cell trial seeding.
+func (sc Scenario) WithRHSSeed(seed int64) Scenario {
+	sc.RHSSeed = &seed
+	return sc
+}
+
+// Validate rejects axis combinations the drivers do not support.
+func (sc Scenario) Validate() error {
+	sc = sc.withDefaults()
+	switch sc.Solver {
+	case "cg", "pcg", "bicgstab":
+	default:
+		return fmt.Errorf("harness: unknown solver %q", sc.Solver)
+	}
+	if sc.Scheme != "unprotected" {
+		if _, _, err := ParseScheme(sc.Scheme); err != nil {
+			return err
+		}
+	}
+	if sc.Scheme == "unprotected" && sc.Alpha > 0 {
+		return fmt.Errorf("harness: %s: the unprotected baseline cannot run under fault injection", sc.Name)
+	}
+	if sc.Solver == "bicgstab" && sc.Scheme == "online-detection" {
+		return fmt.Errorf("harness: %s: BiCGstab supports the ABFT schemes only", sc.Name)
+	}
+	if sc.Solver == "pcg" {
+		switch sc.Precond {
+		case "jacobi", "neumann":
+		default:
+			return fmt.Errorf("harness: unknown preconditioner %q", sc.Precond)
+		}
+	}
+	return nil
+}
+
+// ParseScheme resolves a scheme slug (or its common aliases) to the core
+// scheme. The second result is true for the unprotected baseline, in which
+// case the core scheme is meaningless.
+func ParseScheme(name string) (core.Scheme, bool, error) {
+	switch name {
+	case "online-detection", "online":
+		return core.OnlineDetection, false, nil
+	case "abft-detection", "abft-d":
+		return core.ABFTDetection, false, nil
+	case "abft-correction", "abft-c":
+		return core.ABFTCorrection, false, nil
+	case "unprotected", "none":
+		return 0, true, nil
+	default:
+		return 0, false, fmt.Errorf("unknown scheme %q", name)
+	}
+}
+
+// SchemeSlug is the inverse of ParseScheme for the protected schemes.
+func SchemeSlug(s core.Scheme) string {
+	switch s {
+	case core.OnlineDetection:
+		return "online-detection"
+	case core.ABFTDetection:
+		return "abft-detection"
+	default:
+		return "abft-correction"
+	}
+}
+
+// SolveOne runs a single trial of the scenario on a prebuilt matrix and
+// right-hand side: it constructs the injector from (sc.Alpha, seed),
+// dispatches on the solver axis and returns the solution and statistics.
+// onIter, when non-nil, receives the per-iteration recurrence scalar (used
+// to fingerprint trajectories). pl, when non-nil, runs the solver kernels
+// on the worker pool; the arithmetic is identical either way.
+func SolveOne(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario, seed int64, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, core.Stats{}, err
+	}
+	scheme, unprotected, _ := ParseScheme(sc.Scheme)
+	if unprotected {
+		return solveUnprotected(a, b, sc, onIter)
+	}
+	var inj *fault.Injector
+	if sc.Alpha > 0 {
+		inj = fault.New(fault.Config{Alpha: sc.Alpha, Seed: seed})
+	}
+	switch sc.Solver {
+	case "pcg":
+		m, err := buildPrecond(a, sc.Precond)
+		if err != nil {
+			return nil, core.Stats{}, err
+		}
+		return core.SolvePCG(a, b, core.PCGConfig{
+			Scheme: scheme, M: m, S: sc.S, D: sc.D, Tol: sc.Tol,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+		})
+	case "bicgstab":
+		return core.SolveBiCGstab(a, b, core.BiCGstabConfig{
+			Scheme: scheme, S: sc.S, Tol: sc.Tol,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+		})
+	default: // cg
+		return core.Solve(a, b, core.Config{
+			Scheme: scheme, S: sc.S, D: sc.D, Tol: sc.Tol,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+		})
+	}
+}
+
+// solveUnprotected runs the fault-free reference solver and shapes its
+// outcome as core.Stats: SimTime is iterations × the raw Titer of the cost
+// model, so overheads computed against it match the paper's normalisation.
+func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+	opt := solver.Options{Tol: sc.Tol, MaxIter: sc.MaxIters, RecordResiduals: onIter != nil}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 20 * a.Rows
+	}
+	var res solver.Result
+	var err error
+	switch sc.Solver {
+	case "pcg":
+		// Build the same explicit preconditioner the protected driver would
+		// protect, so overheads compare like against like.
+		var m *sparse.CSR
+		if m, err = buildPrecond(a, sc.Precond); err == nil {
+			res, err = solver.PCGWith(a, m, b, opt)
+		}
+	case "bicgstab":
+		res, err = solver.BiCGstab(a, b, opt)
+	default:
+		res, err = solver.CG(a, b, opt)
+	}
+	if onIter != nil {
+		for i, r := range res.Residuals {
+			onIter(i+1, r)
+		}
+	}
+	st := core.Stats{
+		UsefulIterations: res.Iterations,
+		TotalIterations:  int64(res.Iterations),
+		Converged:        res.Converged,
+	}
+	st.SimTime = float64(res.Iterations) * rawTiter(a, sc.Solver)
+	st.TimeIter = st.SimTime
+	if nb := normOf(b); nb > 0 {
+		st.FinalResidual = res.Residual / nb
+	}
+	return res.X, st, err
+}
+
+// rawTiter is the modeled cost of one raw (unprotected) iteration.
+func rawTiter(a *sparse.CSR, solverKind string) float64 {
+	t := core.NewCosts(a, core.OnlineDetection, core.DefaultCostParams()).Titer
+	if solverKind == "bicgstab" {
+		t *= 2 // two products and roughly twice the vector work
+	}
+	return t
+}
+
+func normOf(b []float64) float64 {
+	var s float64
+	for _, v := range b {
+		s += v * v
+	}
+	if s == 0 {
+		return 1
+	}
+	return math.Sqrt(s)
+}
+
+func buildPrecond(a *sparse.CSR, kind string) (*sparse.CSR, error) {
+	switch kind {
+	case "neumann":
+		return precond.Neumann(a, precond.NeumannOptions{})
+	default:
+		return precond.Jacobi(a)
+	}
+}
+
+// trialOutcome is one rep's contribution to the aggregate record.
+type trialOutcome struct {
+	st     core.Stats
+	failed bool
+}
+
+// trialSeedStride spaces the per-trial injector seeds (kept identical to
+// the historical campaign seeding so refactored experiments reproduce their
+// previous outputs).
+const trialSeedStride = 7919
+
+// runTrials executes sc.Reps independent trials. With a pool and more than
+// one rep the trials fan out across workers (sequential kernels); a single
+// rep instead hands the pool to the solver kernels. Trial 0 records the
+// per-iteration recurrence history into hist. Outcomes land in per-trial
+// slots, so the result is deterministic for any worker count.
+func runTrials(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario) (outs []trialOutcome, hist []float64) {
+	sc = sc.withDefaults()
+	outs = make([]trialOutcome, sc.Reps)
+	trial := func(rep int) {
+		var onIter func(int, float64)
+		if rep == 0 {
+			onIter = func(_ int, rho float64) { hist = append(hist, rho) }
+		}
+		_, st, err := SolveOne(kernelPool(pl, sc.Reps), a, b, sc, sc.Seed+int64(rep)*trialSeedStride, onIter)
+		outs[rep] = trialOutcome{st: st, failed: err != nil}
+	}
+	if pl == nil || sc.Reps == 1 {
+		for rep := 0; rep < sc.Reps; rep++ {
+			trial(rep)
+		}
+	} else {
+		pl.ForEach(sc.Reps, trial)
+	}
+	return outs, hist
+}
+
+// kernelPool decides where the pool goes: campaigns (reps > 1) spend it on
+// the trial fan-out, single solves spend it inside the kernels.
+func kernelPool(pl *pool.Pool, reps int) *pool.Pool {
+	if reps == 1 {
+		return pl
+	}
+	return nil
+}
+
+// TrialsOn is the campaign primitive: it runs the scenario's repetitions on
+// the pool (nil = sequential) against a prebuilt matrix and right-hand side
+// and returns the mean modeled time, the per-trial samples and the failure
+// count — deterministic in sc.Seed for any worker count.
+func TrialsOn(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario) (mean float64, samples []float64, failures int) {
+	outs, _ := runTrials(pl, a, b, sc)
+	samples = make([]float64, len(outs))
+	for i, o := range outs {
+		samples[i] = o.st.SimTime
+		if o.failed {
+			failures++
+		}
+	}
+	return Mean(samples), samples, failures
+}
+
+// RunOn runs the full scenario against a prebuilt matrix on the given pool
+// and aggregates the trials into a Result record.
+func RunOn(pl *pool.Pool, a *sparse.CSR, sc Scenario) (Result, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	b, _ := RHS(a, sc.rhsSeed())
+	start := time.Now()
+	outs, hist := runTrials(pl, a, b, sc)
+	wall := time.Since(start).Seconds()
+
+	res := newResult(sc, a, outs, hist)
+	res.WallSeconds = wall
+	if sc.Baseline && sc.Scheme != "unprotected" {
+		base := sc
+		base.Scheme = "unprotected"
+		base.Alpha = 0
+		base.Reps = 1
+		base.Baseline = false
+		switch _, st, err := SolveOne(pl, a, b, base, base.Seed, nil); {
+		case err != nil:
+			res.BaselineError = err.Error()
+		case st.SimTime <= 0:
+			res.BaselineError = "baseline solve reported no time"
+		default:
+			res.BaselineTime = st.SimTime
+			res.Overhead = res.MeanSimTime/st.SimTime - 1
+		}
+	}
+	return res, nil
+}
+
+// Run builds the scenario's matrix, sizes a pool from opt and runs it.
+func Run(sc Scenario, opt RunOptions) (Result, error) {
+	sc = sc.withDefaults()
+	if opt.Seed != 0 {
+		sc.Seed = opt.Seed
+	}
+	if opt.Reps > 0 {
+		sc.Reps = opt.Reps
+	}
+	if opt.Baseline {
+		sc.Baseline = true
+	}
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	a, err := sc.Matrix.Build()
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: %s: %w", sc.Name, err)
+	}
+	pl, done := PoolFor(opt.Workers)
+	defer done()
+	res, err := RunOn(pl, a, sc)
+	if err != nil {
+		return res, err
+	}
+	res.Workers = opt.Workers
+	return res, nil
+}
+
+// RunOptions are the per-invocation knobs of Run, overriding the scenario's
+// own values when set.
+type RunOptions struct {
+	// Workers sizes the worker pool: 0 = the shared GOMAXPROCS pool, 1 =
+	// sequential, otherwise a dedicated pool of that size.
+	Workers int
+	// Seed overrides the scenario seed when nonzero.
+	Seed int64
+	// Reps overrides the scenario repetitions when positive.
+	Reps int
+	// Baseline forces the unprotected reference solve on.
+	Baseline bool
+}
+
+// PoolFor resolves the Workers knob shared by the commands: 0 selects the
+// process-wide default pool, 1 forces sequential execution, and any other
+// value sizes a dedicated pool. The returned cleanup releases a dedicated
+// pool's workers (and is a no-op otherwise).
+func PoolFor(workers int) (*pool.Pool, func()) {
+	switch {
+	case workers == 1:
+		return nil, func() {}
+	case workers > 1:
+		p := pool.New(workers)
+		return p, p.Close
+	default:
+		return pool.Default(), func() {}
+	}
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// SchemaVersion identifies the result record layout. Bump it on any
+// incompatible change to Result's JSON shape; the golden-file test pins the
+// current layout.
+const SchemaVersion = 1
+
+// MatrixInfo echoes the materialised matrix so records are interpretable
+// without rebuilding it.
+type MatrixInfo struct {
+	Label   string  `json:"label"`
+	N       int     `json:"n"`
+	NNZ     int     `json:"nnz"`
+	Density float64 `json:"density"`
+}
+
+// Result is the machine-readable record of one scenario run: the scenario
+// echo, the materialised matrix, and the aggregate of the independent
+// trials. All fields except WallSeconds are deterministic in the scenario
+// seed for any worker count (the Canonical method zeroes the rest).
+type Result struct {
+	// Schema is SchemaVersion at the time the record was produced.
+	Schema int `json:"schema"`
+	// Scenario echoes the exact scenario that produced the record (with
+	// defaults resolved), so it can be replayed from the JSON alone.
+	Scenario Scenario `json:"scenario"`
+	// Workers is the pool sizing knob the run used (0 = shared default
+	// pool); it never changes the record's deterministic fields.
+	Workers int `json:"workers"`
+	// Matrix describes the materialised matrix.
+	Matrix MatrixInfo `json:"matrix"`
+	// Reps is the number of trials aggregated below; Converged of them
+	// reached the tolerance and Failures did not (failed trials still
+	// contribute their accumulated time, like the paper's campaigns).
+	Reps      int `json:"reps"`
+	Converged int `json:"converged"`
+	Failures  int `json:"failures"`
+	// D and S are the verification and checkpoint intervals actually used
+	// (after model optimisation), from trial 0.
+	D int `json:"d"`
+	S int `json:"s"`
+	// MeanUsefulIters and MeanTotalIters average the converging work and
+	// the total executed work (including rolled-back iterations).
+	MeanUsefulIters float64 `json:"mean_useful_iters"`
+	MeanTotalIters  float64 `json:"mean_total_iters"`
+	// Fault accounting, summed over all trials.
+	Detections     int64 `json:"detections"`
+	Corrections    int64 `json:"corrections"`
+	Rollbacks      int64 `json:"rollbacks"`
+	Checkpoints    int64 `json:"checkpoints"`
+	FaultsInjected int64 `json:"faults_injected"`
+	// MeanSimTime is the mean modeled execution time over the trials with
+	// the half-width of its 95% confidence interval; SimTimes keeps the raw
+	// per-trial samples so shard merges can recompute exact statistics.
+	MeanSimTime float64   `json:"mean_sim_time"`
+	CI95SimTime float64   `json:"ci95_sim_time"`
+	SimTimes    []float64 `json:"sim_times"`
+	// MaxFinalResidual is the worst true relative residual over the trials.
+	MaxFinalResidual float64 `json:"max_final_residual"`
+	// FlopsPerIter is the raw per-iteration flop count on this matrix (the
+	// quantity the modeled times are priced from).
+	FlopsPerIter int64 `json:"flops_per_iter"`
+	// ResidualHash is an FNV-1a fingerprint of trial 0's per-iteration
+	// recurrence history — the determinism and regression gate: it must be
+	// identical across worker counts and stable across commits.
+	ResidualHash string `json:"residual_hash"`
+	// BaselineTime and Overhead are reported when the scenario requested
+	// the unprotected reference: Overhead = MeanSimTime/BaselineTime − 1.
+	// If the reference solve itself failed, BaselineError records why and
+	// the other two fields are absent.
+	BaselineTime  float64 `json:"baseline_time,omitempty"`
+	Overhead      float64 `json:"overhead,omitempty"`
+	BaselineError string  `json:"baseline_error,omitempty"`
+	// WallSeconds is the measured wall-clock time of the run — the only
+	// non-deterministic field.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// newResult aggregates the trial outcomes into a record.
+func newResult(sc Scenario, a *sparse.CSR, outs []trialOutcome, hist []float64) Result {
+	r := Result{
+		Schema:   SchemaVersion,
+		Scenario: sc,
+		Matrix: MatrixInfo{
+			Label:   sc.Matrix.String(),
+			N:       a.Rows,
+			NNZ:     a.NNZ(),
+			Density: a.Density(),
+		},
+		Reps:         len(outs),
+		FlopsPerIter: core.CGFlopsPerIter(a),
+		ResidualHash: HashHistory(hist),
+	}
+	if sc.Solver == "bicgstab" {
+		r.FlopsPerIter *= 2
+	}
+	var useful, total float64
+	r.SimTimes = make([]float64, len(outs))
+	for i, o := range outs {
+		if o.failed {
+			r.Failures++
+		}
+		if o.st.Converged {
+			r.Converged++
+		}
+		if i == 0 {
+			r.D, r.S = o.st.D, o.st.S
+		}
+		useful += float64(o.st.UsefulIterations)
+		total += float64(o.st.TotalIterations)
+		r.Detections += o.st.Detections
+		r.Corrections += o.st.Corrections
+		r.Rollbacks += o.st.Rollbacks
+		r.Checkpoints += o.st.Checkpoints
+		r.FaultsInjected += o.st.FaultsInjected
+		r.SimTimes[i] = o.st.SimTime
+		if o.st.FinalResidual > r.MaxFinalResidual {
+			r.MaxFinalResidual = o.st.FinalResidual
+		}
+	}
+	if n := float64(len(outs)); n > 0 {
+		r.MeanUsefulIters = useful / n
+		r.MeanTotalIters = total / n
+	}
+	r.MeanSimTime, r.CI95SimTime = MeanCI(r.SimTimes)
+	return r
+}
+
+// HashHistory fingerprints a per-iteration scalar history with FNV-1a over
+// the IEEE-754 bit patterns, prefixed by the length.
+func HashHistory(hist []float64) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(hist)))
+	h.Write(buf[:])
+	for _, v := range hist {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}
+
+// Canonical returns the record with its non-deterministic fields zeroed:
+// two canonical records from the same scenario and seed must be identical
+// for any worker count. Tests and the CI determinism gate compare these.
+func (r Result) Canonical() Result {
+	r.WallSeconds = 0
+	r.Workers = 0
+	return r
+}
+
+// WriteResults encodes records as an indented JSON array (the resbench
+// on-disk format).
+func WriteResults(w io.Writer, rs []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// ReadResults decodes a resbench JSON array.
+func ReadResults(r io.Reader) ([]Result, error) {
+	var rs []Result
+	if err := json.NewDecoder(r).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("harness: decoding results: %w", err)
+	}
+	return rs, nil
+}
+
+// Merge combines shard outputs from a campaign split across processes into
+// one sorted record set. Records for the same scenario must agree in
+// canonical form (they are deduplicated); a conflict — two shards claiming
+// the same scenario with different deterministic content — is an error,
+// because it means the shards did not run the same code or seeds.
+func Merge(shards ...[]Result) ([]Result, error) {
+	byName := make(map[string]Result)
+	var order []string
+	for _, shard := range shards {
+		for _, r := range shard {
+			name := r.Scenario.Name
+			prev, ok := byName[name]
+			if !ok {
+				byName[name] = r
+				order = append(order, name)
+				continue
+			}
+			a, err := json.Marshal(prev.Canonical())
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(r.Canonical())
+			if err != nil {
+				return nil, err
+			}
+			if string(a) != string(b) {
+				return nil, fmt.Errorf("harness: conflicting results for scenario %q", name)
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		out = append(out, byName[name])
+	}
+	return out, nil
+}

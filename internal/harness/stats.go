@@ -1,0 +1,70 @@
+package harness
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// MeanCI returns the mean and the half-width of its 95% normal confidence
+// interval.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	mean = Mean(xs)
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	halfWidth = 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	return mean, halfWidth
+}
+
+// Min returns the smallest element (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// LogSpace returns k points logarithmically spaced between lo and hi
+// inclusive.
+func LogSpace(lo, hi float64, k int) []float64 {
+	if k <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, k)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range out {
+		t := float64(i) / float64(k-1)
+		out[i] = math.Exp(llo + t*(lhi-llo))
+	}
+	return out
+}

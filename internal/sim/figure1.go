@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 )
 
 // Figure 1 of the paper plots, for each suite matrix, the average execution
@@ -51,6 +52,42 @@ func (c Figure1Config) withDefaults() Figure1Config {
 	return c
 }
 
+// cellScenario names the harness scenario of one (matrix, scheme, MTBF)
+// cell. The seed formula is position-based and matches the historical
+// campaign seeding, so the refactored sweep reproduces its previous
+// outputs exactly.
+func (c Figure1Config) cellScenario(mi int, sm SuiteMatrix, scheme core.Scheme, xi int, mtbf float64) harness.Scenario {
+	return harness.Scenario{
+		Name: fmt.Sprintf("figure1/m%d/%s/mtbf%g", sm.ID, harness.SchemeSlug(scheme), mtbf),
+		Tags: []string{"figure1", "campaign"},
+		Matrix: harness.MatrixSpec{
+			Gen: "suite", ID: sm.ID, Scale: c.Scale,
+		},
+		Solver: "cg",
+		Scheme: harness.SchemeSlug(scheme),
+		Alpha:  1 / mtbf,
+		Tol:    c.Tol,
+		Reps:   c.Reps,
+		Seed:   c.Seed + int64(mi*100000+int(scheme)*10000+xi*100),
+	}.WithRHSSeed(c.Seed + int64(sm.ID))
+}
+
+// Figure1Scenarios expands the sweep into its harness scenarios — one per
+// (matrix, scheme, MTBF) cell — for registration and sharded execution.
+// The position indices follow the given suite slice.
+func (c Figure1Config) Figure1Scenarios(suite []SuiteMatrix) []harness.Scenario {
+	c = c.withDefaults()
+	var out []harness.Scenario
+	for mi, sm := range suite {
+		for _, scheme := range core.Schemes {
+			for xi, x := range c.MTBFs {
+				out = append(out, c.cellScenario(mi, sm, scheme, xi, x))
+			}
+		}
+	}
+	return out
+}
+
 // Figure1Point is one (MTBF, scheme) cell: the mean execution time and the
 // spread over the repetitions.
 type Figure1Point struct {
@@ -67,34 +104,47 @@ type Figure1Series struct {
 	Points map[core.Scheme][]Figure1Point
 }
 
-// RunFigure1 reproduces the paper's Figure 1 on the given suite.
+// RunFigure1 reproduces the paper's Figure 1 on the given suite: each cell
+// runs as a harness scenario (matrix built once per suite entry, trials
+// fanned out across the pool) and its record folds into the series.
 func RunFigure1(cfg Figure1Config, suite []SuiteMatrix) []Figure1Series {
+	series, _ := RunFigure1Results(cfg, suite)
+	return series
+}
+
+// RunFigure1Results is RunFigure1 returning both the folded series and the
+// raw harness records of every cell, for the machine-readable pipeline
+// (faultsim -json, CI artifacts, shard merges).
+func RunFigure1Results(cfg Figure1Config, suite []SuiteMatrix) ([]Figure1Series, []harness.Result) {
 	cfg = cfg.withDefaults()
 	pl := campaignPool(cfg.Workers)
 	if cfg.Workers > 1 {
 		defer pl.Close() // dedicated pool: release its workers on return
 	}
 	out := make([]Figure1Series, 0, len(suite))
+	var records []harness.Result
 	for mi, sm := range suite {
 		a := sm.Generate(cfg.Scale)
-		b, _ := RHS(a, cfg.Seed+int64(sm.ID))
 		series := Figure1Series{ID: sm.ID, N: a.Rows, Points: make(map[core.Scheme][]Figure1Point)}
 		for _, scheme := range core.Schemes {
 			for xi, x := range cfg.MTBFs {
-				alpha := 1 / x
 				report(cfg.Progress, "figure1: matrix #%d (%d/%d) %v MTBF=%.0f",
 					sm.ID, mi+1, len(suite), scheme, x)
-				seed := cfg.Seed + int64(mi*100000+int(scheme)*10000+xi*100)
-				mean, samples, failures := AverageTimePool(pl, a, b, scheme, alpha, 0, 0, cfg.Tol, seed, cfg.Reps)
-				_, ci := MeanCI(samples)
+				sc := cfg.cellScenario(mi, sm, scheme, xi, x)
+				res, err := harness.RunOn(pl, a, sc)
+				if err != nil {
+					report(cfg.Progress, "figure1: %s: %v", sc.Name, err)
+					continue
+				}
+				records = append(records, res)
 				series.Points[scheme] = append(series.Points[scheme], Figure1Point{
-					MTBF: x, Mean: mean, CI95: ci, Failures: failures,
+					MTBF: x, Mean: res.MeanSimTime, CI95: res.CI95SimTime, Failures: res.Failures,
 				})
 			}
 		}
 		out = append(out, series)
 	}
-	return out
+	return out, records
 }
 
 // WriteFigure1CSV emits the sweep as CSV: matrix, scheme, mtbf, mean, ci95,

@@ -2,7 +2,7 @@ package sim
 
 import (
 	"repro/internal/core"
-	"repro/internal/fault"
+	"repro/internal/harness"
 	"repro/internal/pool"
 	"repro/internal/sparse"
 )
@@ -10,17 +10,11 @@ import (
 // RunOnce executes one resilient solve with a fresh injector and returns
 // its statistics. s and d override the model-optimal intervals when > 0.
 func RunOnce(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, seed int64) (core.Stats, error) {
-	var inj *fault.Injector
-	if alpha > 0 {
-		inj = fault.New(fault.Config{Alpha: alpha, Seed: seed})
+	sc := harness.Scenario{
+		Solver: "cg", Scheme: harness.SchemeSlug(scheme),
+		Alpha: alpha, S: s, D: d, Tol: tol,
 	}
-	_, st, err := core.Solve(a, b, core.Config{
-		Scheme:   scheme,
-		S:        s,
-		D:        d,
-		Tol:      tol,
-		Injector: inj,
-	})
+	_, st, err := harness.SolveOne(nil, a, b, sc, seed, nil)
 	return st, err
 }
 
@@ -34,50 +28,32 @@ func AverageTime(a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, 
 }
 
 // AverageTimePool is AverageTime with the independent trials fanned out
-// across the worker pool (nil runs them sequentially on the caller). Each
-// trial owns a fresh injector seeded deterministically by its index and the
-// solver clones the matrix internally, so trials share only read-only
-// state; samples land in per-trial slots and are aggregated in index order,
-// making mean, samples and the failure count identical for any worker
-// count.
+// across the worker pool (nil runs them sequentially on the caller). It is
+// a thin veneer over the harness trial engine: each trial owns a fresh
+// injector seeded deterministically by its index and samples land in
+// per-trial slots, making mean, samples and the failure count identical
+// for any worker count.
 func AverageTimePool(p *pool.Pool, a *sparse.CSR, b []float64, scheme core.Scheme, alpha float64, s, d int, tol float64, baseSeed int64, reps int) (mean float64, samples []float64, failures int) {
 	if reps < 0 {
 		reps = 0
 	}
-	samples = make([]float64, reps)
-	failed := make([]bool, reps)
-	trial := func(rep int) {
-		st, err := RunOnce(a, b, scheme, alpha, s, d, tol, baseSeed+int64(rep)*7919)
-		samples[rep] = st.SimTime
-		failed[rep] = err != nil
+	if reps == 0 {
+		return 0, []float64{}, 0
 	}
-	if p == nil {
-		for rep := 0; rep < reps; rep++ {
-			trial(rep)
-		}
-	} else {
-		p.ForEach(reps, trial)
+	sc := harness.Scenario{
+		Solver: "cg", Scheme: harness.SchemeSlug(scheme),
+		Alpha: alpha, S: s, D: d, Tol: tol,
+		Reps: reps, Seed: baseSeed,
 	}
-	for _, f := range failed {
-		if f {
-			failures++
-		}
-	}
-	return Mean(samples), samples, failures
+	return harness.TrialsOn(p, a, b, sc)
 }
 
 // campaignPool resolves the Workers knob shared by the experiment configs:
 // 0 selects the process-wide default pool, 1 forces sequential execution,
 // and any other value sizes a dedicated pool.
 func campaignPool(workers int) *pool.Pool {
-	switch {
-	case workers == 1:
-		return nil
-	case workers > 1:
-		return pool.New(workers)
-	default:
-		return pool.Default()
-	}
+	p, _ := harness.PoolFor(workers)
+	return p
 }
 
 // Progress is an optional hook the long-running experiments call with a

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/pool"
 	"repro/internal/sparse"
 )
@@ -57,6 +58,43 @@ func (c Table1Config) withDefaults() Table1Config {
 	return c
 }
 
+// cellScenario names the harness scenario of one (matrix, scheme, s) cell.
+// All cells of a (matrix, scheme) pair share the same seed, so the s* scan
+// is paired (common random numbers), like rerunning the same fault trace.
+func (c Table1Config) cellScenario(mi int, sm SuiteMatrix, si int, scheme core.Scheme, s int) harness.Scenario {
+	return harness.Scenario{
+		Name: fmt.Sprintf("table1/m%d/%s/s%d", sm.ID, harness.SchemeSlug(scheme), s),
+		Tags: []string{"table1", "campaign"},
+		Matrix: harness.MatrixSpec{
+			Gen: "suite", ID: sm.ID, Scale: c.Scale,
+		},
+		Solver: "cg",
+		Scheme: harness.SchemeSlug(scheme),
+		Alpha:  c.Alpha,
+		Tol:    c.Tol,
+		S:      s,
+		D:      1,
+		Reps:   c.Reps,
+		Seed:   c.Seed + int64(mi*1000+si*100),
+	}.WithRHSSeed(c.Seed + int64(sm.ID))
+}
+
+// Table1Scenarios expands the experiment into its model-interval harness
+// scenarios (s = 0 lets the driver choose s̃ via Eq. (6)) — the registered
+// entry points; RunTable1 additionally scans the s* neighbourhood grid.
+func (c Table1Config) Table1Scenarios(suite []SuiteMatrix) []harness.Scenario {
+	c = c.withDefaults()
+	var out []harness.Scenario
+	for mi, sm := range suite {
+		for si, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
+			sc := c.cellScenario(mi, sm, si, scheme, 0)
+			sc.Name = fmt.Sprintf("table1/m%d/%s/model-s", sm.ID, harness.SchemeSlug(scheme))
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
 // SchemeEval holds the Table-1 cells for one scheme on one matrix.
 type SchemeEval struct {
 	STilde  int     // model-chosen checkpoint interval s̃
@@ -85,12 +123,11 @@ func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
 	rows := make([]Table1Row, 0, len(suite))
 	for mi, sm := range suite {
 		a := sm.Generate(cfg.Scale)
-		b, _ := RHS(a, cfg.Seed+int64(sm.ID))
 		row := Table1Row{ID: sm.ID, N: a.Rows, Density: a.Density()}
 
 		for si, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
 			report(cfg.Progress, "table1: matrix #%d (%d/%d) scheme %v", sm.ID, mi+1, len(suite), scheme)
-			eval := evalScheme(cfg, pl, a, b, scheme, cfg.Seed+int64(mi*1000+si*100))
+			eval := evalScheme(cfg, pl, a, mi, sm, si, scheme)
 			if scheme == core.ABFTDetection {
 				row.Det = eval
 			} else {
@@ -103,10 +140,9 @@ func RunTable1(cfg Table1Config, suite []SuiteMatrix) []Table1Row {
 }
 
 // evalScheme computes the model interval s̃, scans a grid of intervals for
-// the empirically best s* and fills the evaluation cells. The same injector
-// seeds are reused across all candidate intervals, so the comparison is
-// paired (common random numbers), like rerunning the same fault trace.
-func evalScheme(cfg Table1Config, pl *pool.Pool, a *sparse.CSR, b []float64, scheme core.Scheme, seed int64) SchemeEval {
+// the empirically best s* and fills the evaluation cells. Each grid cell
+// runs as a harness scenario against the prebuilt matrix.
+func evalScheme(cfg Table1Config, pl *pool.Pool, a *sparse.CSR, mi int, sm SuiteMatrix, si int, scheme core.Scheme) SchemeEval {
 	_, sTilde := core.OptimalIntervals(a, scheme, cfg.Alpha, core.DefaultCostParams())
 
 	grid := sGrid(sTilde)
@@ -114,12 +150,16 @@ func evalScheme(cfg Table1Config, pl *pool.Pool, a *sparse.CSR, b []float64, sch
 	eval.STilde = sTilde
 	bestTime, bestS := 0.0, 0
 	for _, s := range grid {
-		mean, _, _ := AverageTimePool(pl, a, b, scheme, cfg.Alpha, s, 1, cfg.Tol, seed, cfg.Reps)
-		if s == sTilde {
-			eval.EtTilde = mean
+		res, err := harness.RunOn(pl, a, cfg.cellScenario(mi, sm, si, scheme, s))
+		if err != nil {
+			report(cfg.Progress, "table1: m%d %v s=%d: %v", sm.ID, scheme, s, err)
+			continue
 		}
-		if bestS == 0 || mean < bestTime {
-			bestTime, bestS = mean, s
+		if s == sTilde {
+			eval.EtTilde = res.MeanSimTime
+		}
+		if bestS == 0 || res.MeanSimTime < bestTime {
+			bestTime, bestS = res.MeanSimTime, s
 		}
 	}
 	eval.SStar = bestS

@@ -186,6 +186,74 @@ func PCG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	return res, nil
 }
 
+// PCGWith solves Ax = b with an explicit sparse preconditioner M ≈ A⁻¹
+// applied as z = M·r each iteration. It is the unprotected reference for
+// the resilient PCG driver, which protects exactly such an explicit M
+// (Jacobi or approximate inverse, see internal/precond), so overheads
+// compare like against like for any preconditioner.
+func PCGWith(a, m *sparse.CSR, b []float64, opt Options) (Result, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		return Result{}, fmt.Errorf("solver: PCG dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
+	}
+	if m == nil || m.Rows != n || m.Cols != n {
+		return Result{}, fmt.Errorf("solver: PCG needs an n×n preconditioner")
+	}
+	opt = opt.withDefaults(n)
+
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		copy(x, opt.X0)
+	}
+	r := make([]float64, n)
+	q := make([]float64, n)
+	z := make([]float64, n)
+	a.MulVec(q, x)
+	vec.Sub(r, b, q)
+	m.MulVec(z, r)
+	p := vec.Clone(z)
+
+	normB := vec.Norm2(b)
+	if normB == 0 {
+		normB = 1
+	}
+	rho := vec.Dot(r, z)
+	res := Result{X: x}
+
+	for it := 0; it < opt.MaxIter; it++ {
+		rNorm := vec.Norm2(r)
+		if opt.RecordResiduals {
+			res.Residuals = append(res.Residuals, rNorm)
+		}
+		if rNorm <= opt.Tol*normB {
+			res.Iterations = it
+			res.Converged = true
+			res.Residual = trueResidual(a, x, b)
+			return res, nil
+		}
+		a.MulVec(q, p)
+		pq := vec.Dot(p, q)
+		if pq <= 0 || math.IsNaN(pq) {
+			return res, fmt.Errorf("solver: PCG breakdown at iteration %d (pᵀAp = %v)", it, pq)
+		}
+		alpha := rho / pq
+		vec.Axpy(alpha, p, x)
+		vec.Axpy(-alpha, q, r)
+		m.MulVec(z, r)
+		rhoNew := vec.Dot(r, z)
+		beta := rhoNew / rho
+		vec.Xpay(beta, z, p)
+		rho = rhoNew
+		res.Iterations = it + 1
+	}
+	res.Residual = trueResidual(a, x, b)
+	res.Converged = vec.Norm2(r) <= opt.Tol*normB
+	if !res.Converged {
+		return res, fmt.Errorf("%w: PCG after %d iterations", ErrNotConverged, res.Iterations)
+	}
+	return res, nil
+}
+
 func applyDiag(dst, invD, r []float64) {
 	for i := range dst {
 		dst[i] = invD[i] * r[i]

@@ -12,6 +12,12 @@ import (
 // collections. Supported qualifiers: general and symmetric; pattern matrices
 // are read with all values set to 1.
 
+// maxMMDim bounds the dimensions and entry count accepted from a size
+// line: far beyond any matrix this repository handles, but small enough
+// that a hostile or corrupted header cannot drive a multi-gigabyte
+// allocation (or a makeslice panic) before a single entry is read.
+const maxMMDim = 1 << 28
+
 // WriteMatrixMarket writes m in Matrix Market coordinate/real/general format.
 func WriteMatrixMarket(w io.Writer, m *CSR) error {
 	bw := bufio.NewWriter(w)
@@ -77,6 +83,15 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 			return nil, fmt.Errorf("sparse: bad size line %q: %v", line, err)
 		}
 		break
+	}
+	if rows < 0 || cols < 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: negative dimensions in size line (%d x %d, %d entries)", rows, cols, nnz)
+	}
+	if rows > maxMMDim || cols > maxMMDim || nnz > maxMMDim {
+		return nil, fmt.Errorf("sparse: implausibly large size line (%d x %d, %d entries; limit %d)", rows, cols, nnz, maxMMDim)
+	}
+	if symmetry == "symmetric" && rows != cols {
+		return nil, fmt.Errorf("sparse: symmetric matrix must be square, got %dx%d", rows, cols)
 	}
 
 	c := NewCOO(rows, cols)

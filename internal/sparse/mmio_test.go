@@ -71,25 +71,66 @@ func TestReadSkipsComments(t *testing.T) {
 	}
 }
 
+// TestReadErrors feeds malformed Matrix Market input to the reader and
+// checks that every case is rejected with a descriptive error — never a
+// panic (a t.Run goroutine panicking fails the suite, so each case doubles
+// as a no-panic regression test).
 func TestReadErrors(t *testing.T) {
-	cases := map[string]string{
-		"empty":        "",
-		"badHeader":    "%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n",
-		"badFormat":    "%%MatrixMarket matrix array real general\n1 1\n1\n",
-		"badField":     "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
-		"badSymmetry":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
-		"missingSize":  "%%MatrixMarket matrix coordinate real general\n",
-		"truncated":    "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
-		"outOfRange":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
-		"badRowIndex":  "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
-		"badValue":     "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n",
-		"shortEntries": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+	cases := map[string]struct {
+		src     string
+		wantErr string
+	}{
+		"empty":               {"", "empty Matrix Market stream"},
+		"badHeader":           {"%%NotMatrixMarket matrix coordinate real general\n1 1 1\n1 1 1\n", "bad Matrix Market header"},
+		"shortHeader":         {"%%MatrixMarket matrix\n1 1 1\n1 1 1\n", "bad Matrix Market header"},
+		"notAMatrix":          {"%%MatrixMarket vector coordinate real general\n1 1 1\n1 1 1\n", "bad Matrix Market header"},
+		"badFormat":           {"%%MatrixMarket matrix array real general\n1 1\n1\n", "only coordinate format"},
+		"badField":            {"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n", "unsupported field"},
+		"badSymmetry":         {"%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n", "unsupported symmetry"},
+		"missingSize":         {"%%MatrixMarket matrix coordinate real general\n", "missing size line"},
+		"badSizeLine":         {"%%MatrixMarket matrix coordinate real general\n2 two 4\n", "bad size line"},
+		"shortSizeLine":       {"%%MatrixMarket matrix coordinate real general\n2 2\n1 1 1.0\n", "bad size line"},
+		"negativeDims":        {"%%MatrixMarket matrix coordinate real general\n-3 -3 0\n", "negative dimensions"},
+		"negativeNNZ":         {"%%MatrixMarket matrix coordinate real general\n2 2 -1\n", "negative dimensions"},
+		"hugeDims":            {"%%MatrixMarket matrix coordinate real general\n1000000000000000000 1 0\n", "implausibly large"},
+		"hugeNNZ":             {"%%MatrixMarket matrix coordinate real general\n2 2 999999999999\n", "implausibly large"},
+		"symmetricNonSquare":  {"%%MatrixMarket matrix coordinate real symmetric\n2 3 1\n1 1 1.0\n", "must be square"},
+		"truncated":           {"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", "expected 2 entries, got 1"},
+		"outOfRange":          {"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n", "out of 2x2"},
+		"colOutOfRange":       {"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 5 1.0\n", "out of 2x2"},
+		"zeroIndex":           {"%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", "out of 2x2"},
+		"entryBeyondZeroDims": {"%%MatrixMarket matrix coordinate real general\n0 0 1\n1 1 1.0\n", "out of 0x0"},
+		"badRowIndex":         {"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n", "bad row index"},
+		"badColIndex":         {"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1.0\n", "bad col index"},
+		"badValue":            {"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 zz\n", "bad value"},
+		"valueOverflow":       {"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 1e999\n", "bad value"},
+		"shortEntries":        {"%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n", "bad entry line"},
 	}
-	for name, src := range cases {
+	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
-			if _, err := ReadMatrixMarket(strings.NewReader(src)); err == nil {
+			_, err := ReadMatrixMarket(strings.NewReader(tc.src))
+			if err == nil {
 				t.Fatalf("expected error for %s", name)
 			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
 		})
+	}
+}
+
+// TestReadEmptyMatrix checks the degenerate-but-valid cases around the
+// hardened size validation.
+func TestReadEmptyMatrix(t *testing.T) {
+	m, err := ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate real general\n0 0 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.NNZ() != 0 {
+		t.Fatalf("empty matrix read wrong: %+v", m)
+	}
+	m, err = ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate real general\n3 3 0\n"))
+	if err != nil || m.Rows != 3 || m.NNZ() != 0 {
+		t.Fatalf("structurally empty matrix: %+v, %v", m, err)
 	}
 }
