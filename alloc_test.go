@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/abft"
+	"repro/internal/checksum"
+	"repro/internal/core"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+)
+
+// This file is the allocation-regression gate of the zero-allocation kernel
+// engine: the protected product + verification and the steady-state solver
+// iterations (a warm workspace-carrying solve) must not touch the heap.
+// testing.AllocsPerRun reports average allocations per call, so any
+// per-iteration allocation sneaking back into a hot path fails these tests
+// deterministically.
+
+// allocMatrix is a suite-shaped SPD test system, large enough that every
+// kernel takes its real path but small enough for fast runs.
+func allocMatrix(tb testing.TB) (*sparse.CSR, []float64) {
+	tb.Helper()
+	a := sparse.Poisson2D(24, 24)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	return a, b
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm up: workspaces, lazy scratch, encodings
+	if allocs := testing.AllocsPerRun(10, f); allocs != 0 {
+		t.Errorf("%s: %v allocs/op in steady state, want 0", name, allocs)
+	}
+}
+
+func TestZeroAllocProtectedMulVecVerify(t *testing.T) {
+	a, b := allocMatrix(t)
+	for _, mode := range []abft.Mode{abft.Detect, abft.DetectCorrect} {
+		p := abft.NewProtected(a, mode)
+		x := b
+		ref := checksum.NewVector(x)
+		y := make([]float64, a.Rows)
+		assertZeroAllocs(t, "Protected.MulVec+Verify/"+mode.String(), func() {
+			sr := p.MulVec(y, x)
+			if out := p.Verify(y, x, ref, sr); out.Detected {
+				t.Fatal("false positive")
+			}
+		})
+	}
+}
+
+func TestZeroAllocProtectedReencode(t *testing.T) {
+	a, _ := allocMatrix(t)
+	p := abft.NewProtected(a, abft.DetectCorrect)
+	assertZeroAllocs(t, "Protected.Reencode", p.Reencode)
+}
+
+func TestZeroAllocVectorGuard(t *testing.T) {
+	_, b := allocMatrix(t)
+	g := abft.NewGuard(b, abft.DetectCorrect)
+	assertZeroAllocs(t, "VectorGuard.Check+Refresh", func() {
+		if out := g.Check(b); out.Detected {
+			t.Fatal("false positive")
+		}
+		g.Refresh(b)
+	})
+}
+
+func TestZeroAllocSolverSteadyState(t *testing.T) {
+	a, b := allocMatrix(t)
+	ws := solver.NewWorkspace()
+	opt := solver.Options{Tol: 1e-8, Ws: ws}
+
+	cases := []struct {
+		name string
+		run  func() (solver.Result, error)
+	}{
+		{"CG", func() (solver.Result, error) { return solver.CG(a, b, opt) }},
+		{"PCG", func() (solver.Result, error) { return solver.PCG(a, b, opt) }},
+		{"BiCGstab", func() (solver.Result, error) { return solver.BiCGstab(a, b, opt) }},
+	}
+	for _, tc := range cases {
+		tc.run() // warm the workspace
+		assertZeroAllocs(t, "solver."+tc.name, func() {
+			if _, err := tc.run(); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestZeroAllocCoreSolveSteadyState(t *testing.T) {
+	a, b := allocMatrix(t)
+	ws := core.NewWorkspace()
+	for _, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection, core.OnlineDetection} {
+		cfg := core.Config{Scheme: scheme, Tol: 1e-8, S: 4, D: 2, Ws: ws}
+		assertZeroAllocs(t, "core.Solve/"+scheme.String(), func() {
+			if _, st, err := core.Solve(a, b, cfg); err != nil || !st.Converged {
+				t.Fatalf("%v: err=%v converged=%v", scheme, err, st.Converged)
+			}
+		})
+	}
+}
+
+func TestZeroAllocPoolVecKernels(t *testing.T) {
+	x := randVec(3*vec.BlockSize, 1)
+	y := randVec(3*vec.BlockSize, 2)
+	assertZeroAllocs(t, "vec.DotPool(nil)", func() { vec.DotPool(nil, x, y) })
+	assertZeroAllocs(t, "vec.Norm2SqPool(nil)", func() { vec.Norm2SqPool(nil, x) })
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pool"
 	"repro/internal/sim"
+	"repro/internal/solver"
 	"repro/internal/sparse"
 	"repro/internal/tmr"
 	"repro/internal/vec"
@@ -52,10 +53,12 @@ type simMatrix struct {
 // matrix; the full nine-matrix table is cmd/modelval) ---
 
 func BenchmarkTable1_ABFTDetection_2213(b *testing.B) {
+	b.ReportAllocs()
 	benchTable1Cell(b, core.ABFTDetection)
 }
 
 func BenchmarkTable1_ABFTCorrection_2213(b *testing.B) {
+	b.ReportAllocs()
 	benchTable1Cell(b, core.ABFTCorrection)
 }
 
@@ -75,26 +78,32 @@ func benchTable1Cell(b *testing.B, scheme core.Scheme) {
 // the sweep; the full sweep is cmd/faultsim) ---
 
 func BenchmarkFigure1_Online_341_HighRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.OnlineDetection, 1.0/16)
 }
 
 func BenchmarkFigure1_ABFTDetection_341_HighRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.ABFTDetection, 1.0/16)
 }
 
 func BenchmarkFigure1_ABFTCorrection_341_HighRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.ABFTCorrection, 1.0/16)
 }
 
 func BenchmarkFigure1_Online_341_LowRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.OnlineDetection, 1e-4)
 }
 
 func BenchmarkFigure1_ABFTDetection_341_LowRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.ABFTDetection, 1e-4)
 }
 
 func BenchmarkFigure1_ABFTCorrection_341_LowRate(b *testing.B) {
+	b.ReportAllocs()
 	benchFigure1Point(b, core.ABFTCorrection, 1e-4)
 }
 
@@ -115,6 +124,7 @@ func benchFigure1Point(b *testing.B, scheme core.Scheme, alpha float64) {
 // --- Section 3.2: SpMxV overheads ---
 
 func BenchmarkSpMxVPlain(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := benchMatrix(b, 341)
 	x := randVec(m.a.Rows, 1)
 	y := make([]float64, m.a.Rows)
@@ -126,6 +136,7 @@ func BenchmarkSpMxVPlain(b *testing.B) {
 }
 
 func BenchmarkSpMxVRobust(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := benchMatrix(b, 341)
 	x := randVec(m.a.Rows, 1)
 	y := make([]float64, m.a.Rows)
@@ -136,10 +147,12 @@ func BenchmarkSpMxVRobust(b *testing.B) {
 }
 
 func BenchmarkSpMxVProtectedDetect(b *testing.B) {
+	b.ReportAllocs()
 	benchProtected(b, abft.Detect)
 }
 
 func BenchmarkSpMxVProtectedCorrect(b *testing.B) {
+	b.ReportAllocs()
 	benchProtected(b, abft.DetectCorrect)
 }
 
@@ -159,6 +172,7 @@ func benchProtected(b *testing.B, mode abft.Mode) {
 }
 
 func BenchmarkSpMxVParallel8(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := benchMatrix(b, 341)
 	p := parallel.New(m.a, 8)
 	x := randVec(m.a.Rows, 1)
@@ -172,6 +186,7 @@ func BenchmarkSpMxVParallel8(b *testing.B) {
 }
 
 func BenchmarkComputeChecksums(b *testing.B) {
+	b.ReportAllocs()
 	// The setup cost that is amortised over all products with one matrix.
 	m, _ := benchMatrix(b, 341)
 	b.ResetTimer()
@@ -183,6 +198,7 @@ func BenchmarkComputeChecksums(b *testing.B) {
 // --- Section 5.1 ablations ---
 
 func BenchmarkWeightAblationOnes(b *testing.B) {
+	b.ReportAllocs()
 	// The paper keeps w = (1,…,1) because a random weight vector costs
 	// extra multiplications; these two benchmarks quantify that claim.
 	m, _ := benchMatrix(b, 341)
@@ -197,6 +213,7 @@ func BenchmarkWeightAblationOnes(b *testing.B) {
 }
 
 func BenchmarkWeightAblationRandom(b *testing.B) {
+	b.ReportAllocs()
 	m, _ := benchMatrix(b, 341)
 	w := checksum.RandomWeights(m.a.Rows, 3)
 	b.ResetTimer()
@@ -206,10 +223,12 @@ func BenchmarkWeightAblationRandom(b *testing.B) {
 }
 
 func BenchmarkToleranceAblationNorm(b *testing.B) {
+	b.ReportAllocs()
 	benchTolerance(b, abft.TolNorm)
 }
 
 func BenchmarkToleranceAblationComponent(b *testing.B) {
+	b.ReportAllocs()
 	benchTolerance(b, abft.TolComponent)
 }
 
@@ -230,6 +249,7 @@ func benchTolerance(b *testing.B, policy abft.TolerancePolicy) {
 }
 
 func BenchmarkRelModeAblation(b *testing.B) {
+	b.ReportAllocs()
 	// The selective-reliability pricing choice: reliable mode free in time
 	// (the default) vs TMR charged as three sequential executions.
 	m, rhs := benchMatrix(b, 2213)
@@ -257,6 +277,7 @@ func BenchmarkRelModeAblation(b *testing.B) {
 // --- TMR and model micro-benchmarks ---
 
 func BenchmarkTMRDot(b *testing.B) {
+	b.ReportAllocs()
 	x := randVec(1<<13, 1)
 	y := randVec(1<<13, 2)
 	var e tmr.Executor
@@ -267,6 +288,7 @@ func BenchmarkTMRDot(b *testing.B) {
 }
 
 func BenchmarkPlainDot(b *testing.B) {
+	b.ReportAllocs()
 	x := randVec(1<<13, 1)
 	y := randVec(1<<13, 2)
 	b.ResetTimer()
@@ -276,6 +298,7 @@ func BenchmarkPlainDot(b *testing.B) {
 }
 
 func BenchmarkOptimalS(b *testing.B) {
+	b.ReportAllocs()
 	p := model.Params{T: 1, Tverif: 0.2, Tcp: 1.9, Trec: 1.9, Lambda: 1.0 / 16}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -284,6 +307,7 @@ func BenchmarkOptimalS(b *testing.B) {
 }
 
 func BenchmarkOptimalPlacementDP(b *testing.B) {
+	b.ReportAllocs()
 	p := model.Params{T: 1, Tverif: 0.2, Tcp: 1.9, Trec: 1.9, Lambda: 0.01}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -305,6 +329,7 @@ func benchPoolMatrix(b *testing.B) *sparse.CSR {
 }
 
 func BenchmarkPoolSpMVSequential(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	x := randVec(a.Cols, 1)
 	y := make([]float64, a.Rows)
@@ -316,6 +341,7 @@ func BenchmarkPoolSpMVSequential(b *testing.B) {
 }
 
 func BenchmarkPoolSpMVParallel(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	p := pool.Default()
 	x := randVec(a.Cols, 1)
@@ -328,6 +354,7 @@ func BenchmarkPoolSpMVParallel(b *testing.B) {
 }
 
 func BenchmarkPoolSpMVRobustSequential(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	x := randVec(a.Cols, 1)
 	y := make([]float64, a.Rows)
@@ -338,6 +365,7 @@ func BenchmarkPoolSpMVRobustSequential(b *testing.B) {
 }
 
 func BenchmarkPoolSpMVRobustParallel(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	p := pool.Default()
 	x := randVec(a.Cols, 1)
@@ -349,6 +377,7 @@ func BenchmarkPoolSpMVRobustParallel(b *testing.B) {
 }
 
 func BenchmarkPoolProtectedBlocksSequential(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	pr := parallel.New(a, 2*pool.Default().Workers())
 	x := randVec(a.Cols, 1)
@@ -362,6 +391,7 @@ func BenchmarkPoolProtectedBlocksSequential(b *testing.B) {
 }
 
 func BenchmarkPoolProtectedBlocksParallel(b *testing.B) {
+	b.ReportAllocs()
 	a := benchPoolMatrix(b)
 	pr := parallel.New(a, 2*pool.Default().Workers())
 	p := pool.Default()
@@ -376,6 +406,7 @@ func BenchmarkPoolProtectedBlocksParallel(b *testing.B) {
 }
 
 func BenchmarkPoolDotSequential(b *testing.B) {
+	b.ReportAllocs()
 	x := randVec(1<<20, 1)
 	y := randVec(1<<20, 2)
 	b.ResetTimer()
@@ -385,6 +416,7 @@ func BenchmarkPoolDotSequential(b *testing.B) {
 }
 
 func BenchmarkPoolDotParallel(b *testing.B) {
+	b.ReportAllocs()
 	p := pool.Default()
 	x := randVec(1<<20, 1)
 	y := randVec(1<<20, 2)
@@ -395,6 +427,7 @@ func BenchmarkPoolDotParallel(b *testing.B) {
 }
 
 func BenchmarkPoolCampaignSequential(b *testing.B) {
+	b.ReportAllocs()
 	m, rhs := benchMatrix(b, 2213)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -403,6 +436,7 @@ func BenchmarkPoolCampaignSequential(b *testing.B) {
 }
 
 func BenchmarkPoolCampaignParallel(b *testing.B) {
+	b.ReportAllocs()
 	p := pool.Default()
 	m, rhs := benchMatrix(b, 2213)
 	b.ResetTimer()
@@ -418,4 +452,94 @@ func randVec(n int, seed int64) []float64 {
 		v[i] = rng.NormFloat64()
 	}
 	return v
+}
+
+// --- Zero-allocation steady-state solver iterations ---
+//
+// The Benchmark*SteadyState benchmarks run one full warm solve per op on a
+// workspace: after the first op everything — matrix copy, vectors, checksum
+// encodings, checkpoints — is recycled, so allocs/op must report 0 and
+// ns/op divided by the iteration count approximates the per-iteration cost.
+
+func BenchmarkCGSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	benchSolverSteadyState(b, "cg")
+}
+
+func BenchmarkPCGSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	benchSolverSteadyState(b, "pcg")
+}
+
+func benchSolverSteadyState(b *testing.B, kind string) {
+	a := sparse.Poisson2D(48, 48)
+	rhs := randVec(a.Rows, 3)
+	ws := solver.NewWorkspace()
+	opt := solver.Options{Tol: 1e-8, Ws: ws}
+	run := func() (solver.Result, error) {
+		if kind == "pcg" {
+			return solver.PCG(a, rhs, opt)
+		}
+		return solver.CG(a, rhs, opt)
+	}
+	if _, err := run(); err != nil { // warm the workspace
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreSolveSteadyState(b *testing.B) {
+	for _, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			a := sparse.Poisson2D(48, 48)
+			rhs := randVec(a.Rows, 3)
+			ws := core.NewWorkspace()
+			cfg := core.Config{Scheme: scheme, Tol: 1e-8, S: 4, Ws: ws}
+			if _, _, err := core.Solve(a, rhs, cfg); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(a, rhs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpMxVFusedSums vs BenchmarkSpMxVUnfusedSums quantify the fused
+// SpMV+checksum traversal against the two-pass equivalent it replaced.
+
+func BenchmarkSpMxVFusedSums(b *testing.B) {
+	b.ReportAllocs()
+	m, _ := benchMatrix(b, 341)
+	x := randVec(m.a.Rows, 1)
+	y := make([]float64, m.a.Rows)
+	b.SetBytes(int64(12 * m.a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = m.a.MulVecRobustSums(y, x)
+	}
+}
+
+func BenchmarkSpMxVUnfusedSums(b *testing.B) {
+	b.ReportAllocs()
+	m, _ := benchMatrix(b, 341)
+	x := randVec(m.a.Rows, 1)
+	y := make([]float64, m.a.Rows)
+	b.SetBytes(int64(12 * m.a.NNZ()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.a.MulVecRobust(y, x)
+		s1, s2 := checksum.Sums(y)
+		_, _ = s1, s2
+		_ = vec.NormInf(y)
+	}
 }

@@ -1,0 +1,157 @@
+// Command benchgate compares two `go test -bench` output files and fails
+// (exit 1) when a gated benchmark regressed beyond the threshold. It is
+// the CI promotion of the report-only benchstat comparison: the handful of
+// kernel benchmarks named by -gate become merge-blocking, everything else
+// stays informational.
+//
+//	go test -bench 'PoolSpMV|SpMxVProtected' -count 5 > head.txt
+//	(cd base && go test -bench ... -count 5) > base.txt
+//	benchgate -base base.txt -head head.txt \
+//	          -gate '^BenchmarkPoolSpMV|^BenchmarkSpMxVProtected' -threshold 0.10
+//
+// Per benchmark the median ns/op across repetitions is compared, which
+// tolerates the occasional noisy run without the machinery of a full
+// statistical test.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// parseBench collects ns/op samples per benchmark name from go test -bench
+// output. The -cpu suffix (e.g. "-8") is kept: different parallelism is a
+// different benchmark.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", sc.Text(), err)
+		}
+		out[m[1]] = append(out[m[1]], ns)
+	}
+	return out, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		basePath  = fs.String("base", "", "baseline go test -bench output file")
+		headPath  = fs.String("head", "", "candidate go test -bench output file")
+		gate      = fs.String("gate", "", "regexp of benchmark names that block on regression")
+		threshold = fs.Float64("threshold", 0.10, "maximum tolerated relative ns/op regression for gated benchmarks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *headPath == "" || *gate == "" {
+		return fmt.Errorf("need -base, -head and -gate")
+	}
+	gateRe, err := regexp.Compile(*gate)
+	if err != nil {
+		return fmt.Errorf("bad -gate regexp: %v", err)
+	}
+
+	read := func(path string) (map[string][]float64, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return parseBench(f)
+	}
+	base, err := read(*basePath)
+	if err != nil {
+		return err
+	}
+	head, err := read(*headPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(head))
+	for name := range head {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	gatedSeen := 0
+	for _, name := range names {
+		hs := head[name]
+		bs, ok := base[name]
+		gated := gateRe.MatchString(name)
+		if !ok {
+			fmt.Fprintf(stdout, "%-55s new benchmark (no baseline)\n", name)
+			continue
+		}
+		bm, hm := median(bs), median(hs)
+		delta := hm/bm - 1
+		status := "ok"
+		if gated {
+			gatedSeen++
+			status = "gated"
+			if delta > *threshold {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s: %.1f%% slower (%.0f → %.0f ns/op)", name, delta*100, bm, hm))
+			}
+		}
+		fmt.Fprintf(stdout, "%-55s %12.0f → %12.0f ns/op  %+6.1f%%  [%s]\n", name, bm, hm, delta*100, status)
+	}
+	// A gated benchmark that exists in the baseline but vanished from the
+	// head run would otherwise escape the gate entirely (deleted or renamed
+	// kernels are exactly the changes that need a human decision).
+	baseNames := make([]string, 0, len(base))
+	for name := range base {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		if _, ok := head[name]; !ok && gateRe.MatchString(name) {
+			failures = append(failures, fmt.Sprintf("%s: gated benchmark missing from head run", name))
+			fmt.Fprintf(stdout, "%-55s missing from head  [FAIL]\n", name)
+		}
+	}
+	if gatedSeen == 0 {
+		return fmt.Errorf("no benchmark matched the gate regexp %q", *gate)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("perf gate: %d regression(s) beyond %.0f%%:\n  %s",
+			len(failures), *threshold*100, strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(stdout, "perf gate passed: %d gated benchmark(s) within %.0f%%\n", gatedSeen, *threshold*100)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseBench = `goos: linux
+BenchmarkSpMxVProtectedDetect   1000   1000 ns/op   0 B/op   0 allocs/op
+BenchmarkSpMxVProtectedDetect   1000   1020 ns/op   0 B/op   0 allocs/op
+BenchmarkSpMxVProtectedDetect   1000    980 ns/op   0 B/op   0 allocs/op
+BenchmarkPoolSpMVParallel-8     500    2000 ns/op
+BenchmarkOther                  100   50000 ns/op
+PASS
+`
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", strings.ReplaceAll(baseBench, "1000 ns/op", "1050 ns/op"))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkPoolSpMV|^BenchmarkSpMxVProtected"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("gate failed on a 5%% delta: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "perf gate passed") {
+		t.Fatalf("missing pass summary:\n%s", stdout.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", strings.ReplaceAll(baseBench, "2000 ns/op", "2500 ns/op"))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkPoolSpMV|^BenchmarkSpMxVProtected"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("gate passed a 25%% regression:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPoolSpMVParallel-8") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestUngatedRegressionIsReportOnly(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", strings.ReplaceAll(baseBench, "50000 ns/op", "90000 ns/op"))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkPoolSpMV|^BenchmarkSpMxVProtected"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("ungated regression must not fail the gate: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkOther") {
+		t.Fatalf("ungated benchmark missing from the report:\n%s", stdout.String())
+	}
+}
+
+func TestGateRejectsEmptyGateMatch(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", baseBench)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkNothingMatches$"}, &stdout, &stderr); err == nil {
+		t.Fatal("an unmatched gate regexp must fail loudly (silently gating nothing hides regressions)")
+	}
+}
+
+func TestNewBenchmarkWithoutBaselineIsReported(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", baseBench+"BenchmarkSpMxVProtectedNew   1000   10 ns/op\n")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkSpMxVProtected"}, &stdout, &stderr); err != nil {
+		t.Fatalf("new benchmark must not fail the gate: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "no baseline") {
+		t.Fatalf("new benchmark not reported:\n%s", stdout.String())
+	}
+}
+
+func TestGatedBenchmarkMissingFromHeadFails(t *testing.T) {
+	base := writeBench(t, "base.txt", baseBench)
+	head := writeBench(t, "head.txt", strings.ReplaceAll(baseBench,
+		"BenchmarkSpMxVProtectedDetect", "BenchmarkSpMxVProtectedRenamed"))
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-base", base, "-head", head, "-gate", "^BenchmarkPoolSpMV|^BenchmarkSpMxVProtected"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatalf("gate passed although a gated benchmark vanished from head:\n%s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "missing from head") {
+		t.Fatalf("failure does not explain the missing benchmark: %v", err)
+	}
+}

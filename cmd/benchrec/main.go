@@ -1,0 +1,259 @@
+// Command benchrec measures the hot kernels of this repository — the plain
+// and fused SpMxV variants, the ABFT-protected product + verification, the
+// pool-parallel product and the steady-state solver iterations — and emits
+// a schema-versioned JSON record. Committed snapshots (BENCH_1.json,
+// BENCH_2.json, …) seed the perf trajectory: every future performance PR
+// records a new snapshot on the same hardware class and compares against
+// the last one, so regressions and wins both leave a machine-readable
+// trail.
+//
+//	benchrec -list
+//	benchrec -run spmv
+//	benchrec -out BENCH_2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/abft"
+	"repro/internal/checksum"
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+	"repro/internal/vec"
+
+	"math/rand"
+)
+
+// Schema identifies the record layout; bump on incompatible changes.
+const Schema = 1
+
+// Record is one benchrec snapshot.
+type Record struct {
+	Schema     int            `json:"schema"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Kernels    []KernelTiming `json:"kernels"`
+}
+
+// KernelTiming is the measured cost of one kernel.
+type KernelTiming struct {
+	// Name identifies the kernel, path-like ("spmv/protected-correct").
+	Name string `json:"name"`
+	// N is the number of iterations the measurement averaged over.
+	N int `json:"n"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard Go benchmark
+	// metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// kernel names one benchmarkable hot path.
+type kernel struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func randVec(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// kernels builds the fixed benchmark registry. Matrices are deterministic,
+// sized so one op is microseconds (suite-like 2D Poisson systems).
+func kernels() []kernel {
+	return []kernel{
+		{"spmv/plain", func(b *testing.B) {
+			a := sparse.Poisson2D(96, 96)
+			x := randVec(a.Cols, 1)
+			y := make([]float64, a.Rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulVec(y, x)
+			}
+		}},
+		{"spmv/robust-fused", func(b *testing.B) {
+			a := sparse.Poisson2D(96, 96)
+			x := randVec(a.Cols, 1)
+			y := make([]float64, a.Rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, _ = a.MulVecRobustSums(y, x)
+			}
+		}},
+		{"spmv/protected-detect", func(b *testing.B) { benchProtected(b, abft.Detect) }},
+		{"spmv/protected-correct", func(b *testing.B) { benchProtected(b, abft.DetectCorrect) }},
+		{"spmv/pool-parallel", func(b *testing.B) {
+			a := sparse.Poisson2D(320, 320)
+			p := pool.Default()
+			x := randVec(a.Cols, 1)
+			y := make([]float64, a.Rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.MulVecParallel(p, y, x)
+			}
+		}},
+		{"verify/norm", func(b *testing.B) { benchVerify(b, abft.TolNorm) }},
+		{"verify/component", func(b *testing.B) { benchVerify(b, abft.TolComponent) }},
+		{"dot/blocked", func(b *testing.B) {
+			x := randVec(1<<16, 1)
+			y := randVec(1<<16, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = vec.DotPool(nil, x, y)
+			}
+		}},
+		{"solver/cg-steady-state", func(b *testing.B) {
+			a := sparse.Poisson2D(48, 48)
+			rhs := randVec(a.Rows, 3)
+			opt := solver.Options{Tol: 1e-8, Ws: solver.NewWorkspace()}
+			if _, err := solver.CG(a, rhs, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.CG(a, rhs, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"core/abft-correction-steady-state", func(b *testing.B) {
+			a := sparse.Poisson2D(48, 48)
+			rhs := randVec(a.Rows, 3)
+			cfg := core.Config{Scheme: core.ABFTCorrection, Tol: 1e-8, S: 4, Ws: core.NewWorkspace()}
+			if _, _, err := core.Solve(a, rhs, cfg); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(a, rhs, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+func benchProtected(b *testing.B, mode abft.Mode) {
+	a := sparse.Poisson2D(96, 96)
+	p := abft.NewProtected(a, mode)
+	x := randVec(a.Rows, 1)
+	ref := checksum.NewVector(x)
+	y := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr := p.MulVec(y, x)
+		if out := p.Verify(y, x, ref, sr); out.Detected {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func benchVerify(b *testing.B, policy abft.TolerancePolicy) {
+	a := sparse.Poisson2D(96, 96)
+	p := abft.NewProtected(a, abft.DetectCorrect)
+	p.SetPolicy(policy)
+	x := randVec(a.Rows, 1)
+	ref := checksum.NewVector(x)
+	y := make([]float64, a.Rows)
+	sr := p.MulVec(y, x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := p.Verify(y, x, ref, sr); out.Detected {
+			b.Fatal("false positive")
+		}
+	}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrec: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchrec", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list    = fs.Bool("list", false, "list kernel names instead of measuring")
+		filter  = fs.String("run", "", "substring filter on kernel names")
+		outPath = fs.String("out", "", "also write the JSON record to this file")
+		quiet   = fs.Bool("q", false, "suppress per-kernel progress on stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	selected := make([]kernel, 0)
+	for _, k := range kernels() {
+		if *filter == "" || strings.Contains(k.name, *filter) {
+			selected = append(selected, k)
+		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no kernels match %q", *filter)
+	}
+	if *list {
+		for _, k := range selected {
+			fmt.Fprintln(stdout, k.name)
+		}
+		return nil
+	}
+
+	rec := Record{
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, k := range selected {
+		if !*quiet {
+			fmt.Fprintf(stderr, "benchrec: %s\n", k.name)
+		}
+		r := testing.Benchmark(k.fn)
+		rec.Kernels = append(rec.Kernels, KernelTiming{
+			Name:        k.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		fenc := json.NewEncoder(f)
+		fenc.SetIndent("", "  ")
+		if err := fenc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run(-list) failed: %v", err)
+	}
+	for _, want := range []string{"spmv/protected-correct", "solver/cg-steady-state", "verify/norm"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunFilterUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-run", "no-such-kernel"}, &stdout, &stderr); err == nil {
+		t.Fatal("expected an error for an unmatched filter")
+	}
+}
+
+func TestRunEmitsSchemaVersionedRecord(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	// dot/blocked is the cheapest kernel; one measurement keeps the test fast.
+	if err := run([]string{"-run", "dot/blocked", "-q", "-out", out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	for name, data := range map[string][]byte{"stdout": stdout.Bytes(), "file": mustRead(t, out)} {
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatalf("%s: bad JSON: %v", name, err)
+		}
+		if rec.Schema != Schema {
+			t.Errorf("%s: schema %d, want %d", name, rec.Schema, Schema)
+		}
+		if len(rec.Kernels) != 1 || rec.Kernels[0].Name != "dot/blocked" {
+			t.Fatalf("%s: kernels = %+v", name, rec.Kernels)
+		}
+		k := rec.Kernels[0]
+		if k.NsPerOp <= 0 || k.N <= 0 {
+			t.Errorf("%s: implausible timing %+v", name, k)
+		}
+		if k.AllocsPerOp != 0 {
+			t.Errorf("%s: dot/blocked allocated %d/op, want 0", name, k.AllocsPerOp)
+		}
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -180,13 +180,26 @@ func NewProtected(a *sparse.CSR, mode Mode) *Protected {
 	return p
 }
 
+// Renew re-targets a protected wrapper at a (possibly different) live
+// matrix, resetting mode, policy, tolerances and statistics to the state a
+// fresh NewProtected would produce while reusing the checksum storage.
+// Workspaces use it so repeated protected solves allocate nothing.
+func (p *Protected) Renew(a *sparse.CSR, mode Mode) {
+	p.A = a
+	p.mode = mode
+	p.policy = TolNorm
+	p.eps = 1e-8
+	p.stats = Stats{}
+	p.Reencode()
+}
+
 // Reencode rebuilds the reliable checksum encoding from the live matrix.
 // The resilient drivers call it after a forward repair of the matrix (the
 // reconstructed entry matches the original only to rounding, so the
 // bitwise C == C′ identity used by the error decoder must be re-anchored)
 // and after a rollback (the restored matrix predates any later repairs).
 func (p *Protected) Reencode() {
-	p.CS = checksum.NewMatrix(p.A)
+	p.CS = checksum.NewMatrixInto(p.CS, p.A)
 	n := float64(p.CS.N)
 	g := tolSafety * 2 * checksum.Gamma(2*p.CS.N)
 	p.tolX1Fac = g * n * (p.CS.Norm1 + math.Abs(p.CS.K))
@@ -215,22 +228,31 @@ type RowSums struct {
 	S1, S2 float64
 }
 
-// MulVec computes y ← Ax over the possibly corrupted arrays, accumulating
-// the runtime Rowidx checksums. It never panics on corrupted indices:
-// out-of-range row pointers are clamped and out-of-range column indices
-// contribute nothing — the checksum tests flag the corruption afterwards.
+// MulVec computes y ← Ax over the possibly corrupted arrays with the
+// runtime Rowidx checksums fused into the product traversal (the separate
+// O(n) pass over Rowidx is gone; each entry is accumulated exactly once, in
+// index order, so sr is bitwise identical to the unfused two-pass code). It
+// never panics on corrupted indices: out-of-range row pointers are clamped
+// and out-of-range column indices contribute nothing — the checksum tests
+// flag the corruption afterwards.
+//
+// The output checksums are deliberately NOT fused into the product: the
+// defect tests must re-read y at verification time, because the window
+// between the product and its verification is part of the protection
+// contract — a memory fault striking y (or a deferred computation-error
+// injection) in that window must be caught by Verify, and sums captured at
+// product time would silently absorb it. Verify instead reads y and x once
+// each (see defects).
 func (p *Protected) MulVec(y, x []float64) RowSums {
 	a := p.A
 	n := a.Rows
 	nnz := len(a.Val)
 	var sr RowSums
-	for idx, v := range a.Rowidx {
-		fv := float64(v)
-		sr.S1 += fv
-		sr.S2 += float64(idx+1) * fv
-	}
 	for i := 0; i < n; i++ {
 		lo, hi := a.Rowidx[i], a.Rowidx[i+1]
+		fv := float64(lo)
+		sr.S1 += fv
+		sr.S2 += float64(i+1) * fv
 		if lo < 0 {
 			lo = 0
 		}
@@ -245,6 +267,9 @@ func (p *Protected) MulVec(y, x []float64) RowSums {
 		}
 		y[i] = s
 	}
+	fv := float64(a.Rowidx[n])
+	sr.S1 += fv
+	sr.S2 += float64(n+1) * fv
 	return sr
 }
 
@@ -252,45 +277,81 @@ func (p *Protected) MulVec(y, x []float64) RowSums {
 //
 //	dx[r]  = w_rᵀ y − C_rᵀ x        (error in A or in the computation)
 //	dxp[r] = w_rᵀ xRef − w_rᵀ x     (error in x relative to its reference)
+//
+// This is the fused verification kernel: everything derived from y (the two
+// weighted sums, ‖y‖∞ and — under TolComponent — the rounding masses) is
+// accumulated in ONE pass over y, and everything derived from x (C₁ᵀx,
+// C₂ᵀx, the reference sums, ‖x‖∞ and the componentwise masses) in ONE pass
+// over x, replacing the historical five-to-seven separate passes. Each
+// accumulator keeps the exact summation order of its former standalone
+// loop, so every defect and tolerance — and therefore every detection
+// outcome — is bitwise unchanged.
 func (p *Protected) defects(y, x []float64, xRef checksum.Vector) (dx1, dx2, tolx1, tolx2, dxp1, dxp2, tolp1, tolp2 float64) {
-	sy1, sy2 := checksum.Sums(y)
-	var c1x, c2x float64
-	for j, xj := range x {
-		c1x += p.CS.C1[j] * xj
-		c2x += p.CS.C2[j] * xj
+	comp := p.policy == TolComponent
+
+	var sy1, sy2, normY, ay1, ay2 float64
+	for i, v := range y {
+		sy1 += v
+		sy2 += float64(i+1) * v
+		if v > normY {
+			normY = v
+		} else if -v > normY {
+			normY = -v
+		}
+		if comp {
+			av := math.Abs(v)
+			ay1 += av
+			ay2 += float64(i+1) * av
+		}
 	}
+
+	c1, c2 := p.CS.C1, p.CS.C2
+	absC1, absC2 := p.CS.AbsC1, p.CS.AbsC2
+	var c1x, c2x, sx1, sx2, normX, ac1, ac2, ax1, ax2 float64
+	for j, xj := range x {
+		c1x += c1[j] * xj
+		c2x += c2[j] * xj
+		sx1 += xj
+		sx2 += float64(j+1) * xj
+		if xj > normX {
+			normX = xj
+		} else if -xj > normX {
+			normX = -xj
+		}
+		if comp {
+			ax := math.Abs(xj)
+			ac1 += absC1[j] * ax
+			ac2 += absC2[j] * ax
+			ax1 += ax
+			ax2 += float64(j+1) * ax
+		}
+	}
+
 	dx1 = sy1 - c1x
 	dx2 = sy2 - c2x
+	dxp1 = xRef.S1 - sx1
+	dxp2 = xRef.S2 - sx2
 
-	dxp1, dxp2 = xRef.Defect(x)
-
-	if p.policy == TolComponent {
-		tolx1 = p.CS.ToleranceComponent(1, x) + roundTolY(y, 1)
-		tolx2 = p.CS.ToleranceComponent(2, x) + roundTolY(y, 2)
-		tolp1, tolp2 = checksum.VectorTolerance(x)
+	if comp {
+		// Componentwise bound (paper Eq. (7)) plus the rounding mass of the
+		// weighted sums of y — the same quantities ToleranceComponentBoth,
+		// roundTolY and VectorTolerance produce, from the fused passes.
+		gM := 2 * checksum.Gamma(2*p.CS.N)
+		gY := 2 * checksum.Gamma(len(y))
+		gX := 2 * checksum.Gamma(len(x))
+		tolx1 = gM*(ac1+math.Abs(p.CS.K)*ax1) + gY*ay1
+		tolx2 = gM*ac2 + gY*ay2
+		tolp1 = gX * ax1
+		tolp2 = gX * ax2
 		return
 	}
 	// TolNorm (paper Eq. (9)): the matrix factors are precomputed; each
 	// verification only needs the two max-norms.
-	normX := normInf(x)
-	normY := normInf(y)
 	tolx1 = p.tolX1Fac*normX + p.tolY1Fac*normY
 	tolx2 = p.tolX2Fac*normX + p.tolY2Fac*normY
 	tolp1 = p.tolP1Fac * normX
 	tolp2 = p.tolP2Fac * normX
 	return
-}
-
-func normInf(v []float64) float64 {
-	var m float64
-	for _, x := range v {
-		if x > m {
-			m = x
-		} else if -x > m {
-			m = -x
-		}
-	}
-	return m
 }
 
 // roundTolY bounds the rounding of the weighted sum of y itself.

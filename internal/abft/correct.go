@@ -393,7 +393,7 @@ func (p *Protected) recomputeRowSums() RowSums {
 // (their contribution is lost, surfacing as a single-column defect).
 func (p *Protected) recomputeColChecksums() ([]float64, []float64) {
 	n := p.CS.N
-	if p.cPrime1 == nil {
+	if len(p.cPrime1) != n {
 		p.cPrime1 = make([]float64, n)
 		p.cPrime2 = make([]float64, n)
 	}

@@ -27,6 +27,13 @@ func NewGuard(v []float64, mode Mode) *VectorGuard {
 // Refresh re-captures the checksum after a verified write of v.
 func (g *VectorGuard) Refresh(v []float64) { g.ref = checksum.NewVector(v) }
 
+// Reset re-arms the guard over a new vector and mode, as a fresh NewGuard
+// would (workspace reuse).
+func (g *VectorGuard) Reset(v []float64, mode Mode) {
+	g.ref = checksum.NewVector(v)
+	g.mode = mode
+}
+
 // Ref returns the current reference checksum (used by Protected.Verify for
 // the SpMxV input).
 func (g *VectorGuard) Ref() checksum.Vector { return g.ref }

@@ -47,8 +47,30 @@ type Store struct {
 func NewStore() *Store { return &Store{} }
 
 // Save deep-copies the live state into the store, replacing any previous
-// snapshot.
+// snapshot. When the previous snapshot has exactly the live state's shape
+// (same matrix dimensions, same vector names and lengths) the copy happens
+// in place, so periodic checkpointing in a steady-state solve allocates
+// nothing; otherwise fresh storage is taken.
 func (s *Store) Save(live *State) {
+	if s.hasSnapshot && sameShape(s.saved, live) {
+		snap := s.saved
+		snap.Iteration = live.Iteration
+		if live.A != nil {
+			snap.A.CopyFrom(live.A)
+		}
+		if live.M != nil {
+			snap.M.CopyFrom(live.M)
+		}
+		for name, v := range live.Vectors {
+			copy(snap.Vectors[name], v)
+		}
+		clear(snap.Scalars)
+		for name, v := range live.Scalars {
+			snap.Scalars[name] = v
+		}
+		s.saves++
+		return
+	}
 	snap := &State{
 		Iteration: live.Iteration,
 		Vectors:   make(map[string][]float64, len(live.Vectors)),
@@ -72,6 +94,30 @@ func (s *Store) Save(live *State) {
 	s.saves++
 	s.savedWords = int64(snapWords(snap))
 	s.hasSnapshot = true
+}
+
+// sameShape reports whether the snapshot can absorb the live state without
+// reallocating.
+func sameShape(snap, live *State) bool {
+	if (snap.A == nil) != (live.A == nil) || (snap.M == nil) != (live.M == nil) {
+		return false
+	}
+	if snap.A != nil && (snap.A.Rows != live.A.Rows || snap.A.Cols != live.A.Cols || len(snap.A.Val) != len(live.A.Val)) {
+		return false
+	}
+	if snap.M != nil && (snap.M.Rows != live.M.Rows || snap.M.Cols != live.M.Cols || len(snap.M.Val) != len(live.M.Val)) {
+		return false
+	}
+	if len(snap.Vectors) != len(live.Vectors) {
+		return false
+	}
+	for name, v := range live.Vectors {
+		sv, ok := snap.Vectors[name]
+		if !ok || len(sv) != len(v) {
+			return false
+		}
+	}
+	return true
 }
 
 // Restore copies the snapshot back into the live state (in place: the live

@@ -87,17 +87,35 @@ type Matrix struct {
 // tolerance (e.g. an out-of-range Colid on a tiny value). Re-encoding such
 // a matrix simply adopts the harmless perturbation as the new reference.
 func NewMatrix(a *sparse.CSR) *Matrix {
+	return NewMatrixInto(nil, a)
+}
+
+// NewMatrixInto recomputes the checksum encoding of a into m, reusing its
+// checksum rows when the dimension matches; a nil or mis-sized m gets fresh
+// storage. The resilient drivers re-encode after every forward repair and
+// rollback, so reuse keeps those paths allocation-free. The accumulation
+// order is identical to a fresh NewMatrix, so the encoding is bitwise the
+// same either way.
+func NewMatrixInto(m *Matrix, a *sparse.CSR) *Matrix {
 	if a.Rows != a.Cols {
 		panic("checksum: NewMatrix requires a square matrix")
 	}
 	n := a.Rows
 	nnz := len(a.Val)
-	m := &Matrix{
-		N:     n,
-		C1:    make([]float64, n),
-		C2:    make([]float64, n),
-		AbsC1: make([]float64, n),
-		AbsC2: make([]float64, n),
+	if m == nil || len(m.C1) != n {
+		m = &Matrix{
+			N:     n,
+			C1:    make([]float64, n),
+			C2:    make([]float64, n),
+			AbsC1: make([]float64, n),
+			AbsC2: make([]float64, n),
+		}
+	} else {
+		m.N = n
+		m.Norm1 = 0
+		for j := 0; j < n; j++ {
+			m.C1[j], m.C2[j], m.AbsC1[j], m.AbsC2[j] = 0, 0, 0, 0
+		}
 	}
 	for i := 0; i < n; i++ {
 		w2 := float64(i + 1)
@@ -174,6 +192,24 @@ func (m *Matrix) ToleranceComponent(r int, x []float64) float64 {
 		s += math.Abs(m.K) * sx
 	}
 	return 2 * Gamma(2*m.N) * s
+}
+
+// ToleranceComponentBoth returns the componentwise tolerances of both
+// weight rows in a single pass over x. Each accumulator follows the exact
+// summation order of the corresponding ToleranceComponent call, so the
+// results are bitwise identical to calling it twice at half the memory
+// traffic.
+func (m *Matrix) ToleranceComponentBoth(x []float64) (t1, t2 float64) {
+	var s1, s2, sx float64
+	for j, xj := range x {
+		ax := math.Abs(xj)
+		s1 += m.AbsC1[j] * ax
+		s2 += m.AbsC2[j] * ax
+		sx += ax
+	}
+	s1 += math.Abs(m.K) * sx
+	g := 2 * Gamma(2*m.N)
+	return g * s1, g * s2
 }
 
 // ToleranceNorm returns the norm-based tolerance of the paper's Eq. (9):

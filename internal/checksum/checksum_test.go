@@ -263,3 +263,43 @@ func TestRowAccessors(t *testing.T) {
 	}()
 	m.Row(3)
 }
+
+func TestToleranceComponentBothMatchesSingleRows(t *testing.T) {
+	a := sparse.Poisson2D(12, 12)
+	m := NewMatrix(a)
+	x := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i%13) - 6.5
+	}
+	t1, t2 := m.ToleranceComponentBoth(x)
+	if w1 := m.ToleranceComponent(1, x); math.Float64bits(t1) != math.Float64bits(w1) {
+		t.Errorf("row 1: fused %v != single-pass %v", t1, w1)
+	}
+	if w2 := m.ToleranceComponent(2, x); math.Float64bits(t2) != math.Float64bits(w2) {
+		t.Errorf("row 2: fused %v != single-pass %v", t2, w2)
+	}
+}
+
+func TestNewMatrixIntoReusesAndMatches(t *testing.T) {
+	a := sparse.Poisson2D(10, 10)
+	fresh := NewMatrix(a)
+	reused := NewMatrixInto(NewMatrix(sparse.Poisson2D(10, 10)), a)
+	if &reused.C1[0] == &fresh.C1[0] {
+		t.Fatal("test bug: expected distinct storage")
+	}
+	for j := range fresh.C1 {
+		if fresh.C1[j] != reused.C1[j] || fresh.C2[j] != reused.C2[j] ||
+			fresh.AbsC1[j] != reused.AbsC1[j] || fresh.AbsC2[j] != reused.AbsC2[j] {
+			t.Fatalf("column %d: reused encode differs from fresh", j)
+		}
+	}
+	if fresh.K != reused.K || fresh.Norm1 != reused.Norm1 || fresh.CR1 != reused.CR1 || fresh.CR2 != reused.CR2 {
+		t.Fatal("scalar encoding differs between fresh and reused")
+	}
+	// Mis-sized reuse falls back to fresh storage.
+	small := NewMatrix(sparse.Poisson2D(4, 4))
+	grown := NewMatrixInto(small, a)
+	if grown.N != a.Rows || len(grown.C1) != a.Rows {
+		t.Fatalf("mis-sized reuse: N=%d len=%d", grown.N, len(grown.C1))
+	}
+}

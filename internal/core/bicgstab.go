@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"repro/internal/abft"
-	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/pool"
 	"repro/internal/sparse"
@@ -39,6 +38,9 @@ type BiCGstabConfig struct {
 	// the iteration count and the current BiCG recurrence scalar ρ. The
 	// harness uses it to fingerprint the iterate trajectory.
 	OnIteration func(it int, rho float64)
+	// Ws, as in Config: a reusable arena making repeated solves
+	// allocation-free in steady state.
+	Ws *Workspace
 }
 
 // SolveBiCGstab runs the resilient BiCGstab on Ax = b for general
@@ -56,8 +58,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		MaxIters: cfg.MaxIters, Injector: cfg.Injector, Costs: cfg.Costs,
 	}
 	base = base.withDefaults(n)
+	ws := cfg.Ws.begin()
 
-	live := a.Clone()
+	live := ws.liveCopy(a)
 	costs := NewCosts(live, base.Scheme, base.Costs)
 	costs.Titer *= 2 // two products and roughly twice the vector work per iteration
 
@@ -73,24 +76,31 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 	st := Stats{Scheme: base.Scheme, D: 1, S: s}
 	mode := abftMode(base.Scheme)
 
-	r := vec.Clone(b) // x0 = 0
-	rHat := vec.Clone(r)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	sv := make([]float64, n)
-	tv := make([]float64, n)
-	x := make([]float64, n)
+	r := ws.takeCopy(b) // x0 = 0
+	rHat := ws.takeCopy(r)
+	p := ws.takeZero(n)
+	v := ws.takeZero(n)
+	sv := ws.takeZero(n)
+	tv := ws.take(n)
+	x := ws.takeZero(n)
+	rr := ws.take(n)
 
-	prot := abft.NewProtected(live, mode)
-	rGuard := abft.NewGuard(r, mode)
-	pGuard := abft.NewGuard(p, mode)
-	sGuard := abft.NewGuard(sv, mode)
-	xGuard := abft.NewGuard(x, mode)
+	prot := ws.protected(live, mode)
+	rGuard := ws.guard(0, r, mode)
+	pGuard := ws.guard(1, p, mode)
+	sGuard := ws.guard(2, sv, mode)
+	xGuard := ws.guard(3, x, mode)
 	st.SimTime += SetupCost(live, base.Scheme, base.Costs)
 
-	state := &fault.State{A: live, R: r, P: p, Q: v, X: x}
-	store := checkpoint.NewStore()
-	initStore := checkpoint.NewStore()
+	ws.state = fault.State{A: live, R: r, P: p, Q: v, X: x}
+	state := &ws.state
+	store, initStore := ws.stores()
+	view := ws.liveView(live, nil)
+	view.Vectors["x"] = x
+	view.Vectors["r"] = r
+	view.Vectors["rHat"] = rHat
+	view.Vectors["p"] = p
+	view.Vectors["v"] = v
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
@@ -103,18 +113,12 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 	var exec tmr.Executor
 	exec.Pool = cfg.Pool
 
-	snapshot := func() *checkpoint.State {
-		return &checkpoint.State{
-			A: live,
-			Vectors: map[string][]float64{
-				"x": x, "r": r, "rHat": rHat, "p": p, "v": v,
-			},
-			Iteration: it,
-			Scalars:   map[string]float64{"rho": rho, "alpha": alphaS, "omega": omega},
-		}
-	}
 	save := func(charge bool) {
-		store.Save(snapshot())
+		view.Iteration = it
+		view.Scalars["rho"] = rho
+		view.Scalars["alpha"] = alphaS
+		view.Scalars["omega"] = omega
+		store.Save(view)
 		last = it
 		if charge {
 			st.Checkpoints++
@@ -130,18 +134,11 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			highWater = 0
 			last = 0
 		}
-		liveState := &checkpoint.State{
-			A: live,
-			Vectors: map[string][]float64{
-				"x": x, "r": r, "rHat": rHat, "p": p, "v": v,
-			},
-			Scalars: map[string]float64{},
-		}
-		use.Restore(liveState)
-		it = liveState.Iteration
-		rho = liveState.Scalars["rho"]
-		alphaS = liveState.Scalars["alpha"]
-		omega = liveState.Scalars["omega"]
+		use.Restore(view)
+		it = view.Iteration
+		rho = view.Scalars["rho"]
+		alphaS = view.Scalars["alpha"]
+		omega = view.Scalars["omega"]
 		st.Rollbacks++
 		st.TimeRecovery += costs.Trec
 		rGuard.Refresh(r)
@@ -150,7 +147,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		prot.Reencode()
 	}
 	save(false)
-	initStore.Save(snapshot())
+	initStore.Save(view)
 
 	maxTotal := int64(base.MaxIters)*10 + 1000
 	finalRetries := 0
@@ -170,7 +167,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			finalRetries++
 			if finalRetries >= maxFinalCheckRetries {
 				st.UsefulIterations = it
-				return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector,
+				return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector,
 					fmt.Errorf("core: BiCGstab %v: convergence confirmation kept failing", base.Scheme))
 			}
 			fail()
@@ -178,7 +175,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		}
 		if it >= base.MaxIters || st.TotalIterations >= maxTotal {
 			st.UsefulIterations = it
-			return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector,
+			return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector,
 				fmt.Errorf("core: BiCGstab %v: not converged after %d useful (%d total) iterations",
 					base.Scheme, it, st.TotalIterations))
 		}
@@ -318,16 +315,16 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			save(true)
 		}
 	}
-	return finish(cfg.Pool, a, b, x, normB, &st, cfg.Injector, nil)
+	return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector, nil)
 }
 
-// finish computes the final statistics common to the drivers.
-func finish(pl *pool.Pool, a *sparse.CSR, b, x []float64, normB float64, st *Stats, inj *fault.Injector, err error) ([]float64, Stats, error) {
+// finish computes the final statistics common to the drivers. rr is
+// caller-provided length-n scratch for the true-residual product.
+func finish(pl *pool.Pool, a *sparse.CSR, b, x, rr []float64, normB float64, st *Stats, inj *fault.Injector, err error) ([]float64, Stats, error) {
 	st.SimTime = st.TimeIter + st.TimeVerif + st.TimeCkpt + st.TimeRecovery + st.SimTime
 	if inj != nil {
 		st.FaultsInjected = inj.Stats().Flips
 	}
-	rr := make([]float64, len(b))
 	a.MulVecParallel(pl, rr, x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / normB

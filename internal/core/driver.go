@@ -28,8 +28,9 @@ func Solve(a *sparse.CSR, b []float64, cfg Config) ([]float64, Stats, error) {
 		return nil, Stats{}, fmt.Errorf("core: dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
 	}
 	cfg = cfg.withDefaults(n)
+	ws := cfg.Ws.begin()
 
-	live := a.Clone()
+	live := ws.liveCopy(a)
 	costs := NewCosts(live, cfg.Scheme, cfg.Costs)
 
 	alpha := 0.0
@@ -50,45 +51,49 @@ func Solve(a *sparse.CSR, b []float64, cfg Config) ([]float64, Stats, error) {
 		d = 1 // ABFT schemes verify every iteration by construction
 	}
 
-	st := Stats{Scheme: cfg.Scheme, D: d, S: s}
-	run := &runState{
+	run := &ws.rs
+	exec := run.exec // preserve the TMR executor's resident replica scratch
+	*run = runState{
 		cfg:   cfg,
 		costs: costs,
 		live:  live,
 		b:     b,
-		x:     make([]float64, n),
-		r:     vec.Clone(b), // x0 = 0 ⇒ r0 = b
-		p:     vec.Clone(b),
-		q:     make([]float64, n),
-		st:    &st,
+		x:     ws.takeZero(n),
+		r:     ws.takeCopy(b), // x0 = 0 ⇒ r0 = b
+		p:     ws.takeCopy(b),
+		q:     ws.take(n),
+		rr:    ws.take(n),
 		d:     d,
 		s:     s,
 	}
-	run.state = &fault.State{A: live, R: run.r, P: run.p, Q: run.q, X: run.x}
+	run.stats = Stats{Scheme: cfg.Scheme, D: d, S: s}
+	st := &run.stats
+	ws.state = fault.State{A: live, R: run.r, P: run.p, Q: run.q, X: run.x}
+	run.state = &ws.state
 
+	run.exec = exec
 	run.exec.Pool = cfg.Pool
 	if cfg.Scheme != OnlineDetection {
 		mode := abftMode(cfg.Scheme)
-		run.prot = abft.NewProtected(live, mode)
-		run.rGuard = abft.NewGuard(run.r, mode)
-		run.pGuard = abft.NewGuard(run.p, mode)
-		run.xGuard = abft.NewGuard(run.x, mode)
+		run.prot = ws.protected(live, mode)
+		run.rGuard = ws.guard(0, run.r, mode)
+		run.pGuard = ws.guard(1, run.p, mode)
+		run.xGuard = ws.guard(2, run.x, mode)
 		st.SimTime += SetupCost(live, cfg.Scheme, cfg.Costs)
 	}
 
-	run.store = checkpoint.NewStore()
-	run.initStore = checkpoint.NewStore()
+	run.store, run.initStore = ws.stores()
+	run.view = ws.liveView(live, nil)
+	run.view.Vectors["x"] = run.x
+	run.view.Vectors["r"] = run.r
+	run.view.Vectors["p"] = run.p
 	run.normB = vec.Norm2(b)
 	if run.normB == 0 {
 		run.normB = 1
 	}
 	run.rho = vec.Norm2Sq(run.r)
 	run.saveCheckpoint(false) // initial state; re-reading inputs is free
-	run.initStore.Save(&checkpoint.State{
-		A:       run.live,
-		Vectors: map[string][]float64{"x": run.x, "r": run.r, "p": run.p},
-		Scalars: map[string]float64{"rho": run.rho},
-	})
+	run.initStore.Save(run.view)
 
 	err := run.loop()
 	st.SimTime = st.TimeIter + st.TimeVerif + st.TimeCkpt + st.TimeRecovery + st.SimTime
@@ -96,11 +101,11 @@ func Solve(a *sparse.CSR, b []float64, cfg Config) ([]float64, Stats, error) {
 		st.FaultsInjected = cfg.Injector.Stats().Flips
 	}
 	// The reported residual uses the caller's pristine matrix.
-	rr := make([]float64, n)
+	rr := run.rr
 	a.MulVecParallel(cfg.Pool, rr, run.x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / run.normB
-	return run.x, st, err
+	return run.x, *st, err
 }
 
 // runState carries the live solver state through the iteration loop.
@@ -113,9 +118,11 @@ type runState struct {
 	r     []float64
 	p     []float64
 	q     []float64
+	rr    []float64 // scratch for onlineVerify and the final residual
 	state *fault.State
 	store *checkpoint.Store
-	st    *Stats
+	view  *checkpoint.State // reusable live-state view for save/rollback
+	stats Stats
 
 	prot   *abft.Protected
 	rGuard *abft.VectorGuard
@@ -145,7 +152,7 @@ const stuckLimit = 5
 
 func (rs *runState) loop() error {
 	cfg := rs.cfg
-	st := rs.st
+	st := &rs.stats
 	maxTotal := int64(cfg.MaxIters)*10 + 1000
 	finalRetries := 0
 
@@ -222,7 +229,7 @@ func (rs *runState) loop() error {
 // state. It returns false when an uncorrectable error was detected and the
 // caller must roll back.
 func (rs *runState) iterate(deferredQ []fault.Event) bool {
-	st := rs.st
+	st := &rs.stats
 	abftScheme := rs.cfg.Scheme != OnlineDetection
 
 	if abftScheme {
@@ -241,7 +248,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 
 		vecCorrect := TcorrectVector(rs.live, rs.cfg.Costs)
 		names := [3]string{"rGuard", "xGuard", "product"}
-		for i, out := range []abft.Outcome{outR, outX, outQ} {
+		for i, out := range [3]abft.Outcome{outR, outX, outQ} {
 			if !out.Detected {
 				continue
 			}
@@ -325,8 +332,7 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 // last product q = A·p_prev is checked. Any discrepancy — including
 // non-finite values — reports an error.
 func (rs *runState) onlineVerify() bool {
-	n := len(rs.b)
-	rr := make([]float64, n)
+	rr := rs.rr
 	rs.live.MulVecRobustParallel(rs.cfg.Pool, rr, rs.x)
 	vec.Sub(rr, rs.b, rr)
 
@@ -351,20 +357,18 @@ func (rs *runState) onlineVerify() bool {
 	return ortho <= 1e-6 && !math.IsNaN(ortho)
 }
 
-// saveCheckpoint snapshots the full resilient state (matrix included).
+// saveCheckpoint snapshots the full resilient state (matrix included)
+// through the reusable live-state view. The view must carry the recurrence
+// scalar: the initial-state store deep-copies the same view, and an
+// escalated rollback resumes from its rho.
 func (rs *runState) saveCheckpoint(charge bool) {
-	rs.store.Save(&checkpoint.State{
-		A: rs.live,
-		Vectors: map[string][]float64{
-			"x": rs.x, "r": rs.r, "p": rs.p,
-		},
-		Iteration: rs.it,
-		Scalars:   map[string]float64{"rho": rs.rho},
-	})
+	rs.view.Iteration = rs.it
+	rs.view.Scalars["rho"] = rs.rho
+	rs.store.Save(rs.view)
 	rs.last = rs.it
 	if charge {
-		rs.st.Checkpoints++
-		rs.st.TimeCkpt += rs.costs.Tcp
+		rs.stats.Checkpoints++
+		rs.stats.TimeCkpt += rs.costs.Tcp
 	}
 }
 
@@ -387,16 +391,11 @@ func (rs *runState) rollback() {
 		rs.highWater = 0
 		rs.last = 0
 	}
-	liveState := &checkpoint.State{
-		A:       rs.live,
-		Vectors: map[string][]float64{"x": rs.x, "r": rs.r, "p": rs.p},
-		Scalars: map[string]float64{},
-	}
-	store.Restore(liveState)
-	rs.it = liveState.Iteration
-	rs.rho = liveState.Scalars["rho"]
-	rs.st.Rollbacks++
-	rs.st.TimeRecovery += rs.costs.Trec
+	store.Restore(rs.view)
+	rs.it = rs.view.Iteration
+	rs.rho = rs.view.Scalars["rho"]
+	rs.stats.Rollbacks++
+	rs.stats.TimeRecovery += rs.costs.Trec
 	if rs.cfg.Scheme != OnlineDetection {
 		rs.rGuard.Refresh(rs.r)
 		rs.pGuard.Refresh(rs.p)

@@ -31,8 +31,8 @@ type PCGConfig struct {
 	// M is the explicit sparse preconditioner (e.g. precond.Jacobi or
 	// precond.Neumann output). Must be SPD for PCG.
 	M *sparse.CSR
-	// S, D, Tol, MaxIters, Injector, Costs, Trace, Pool, OnIteration: as in
-	// Config.
+	// S, D, Tol, MaxIters, Injector, Costs, Trace, Pool, OnIteration, Ws:
+	// as in Config.
 	S, D        int
 	Tol         float64
 	MaxIters    int
@@ -41,6 +41,7 @@ type PCGConfig struct {
 	Trace       func(format string, args ...any)
 	Pool        *pool.Pool
 	OnIteration func(it int, rho float64)
+	Ws          *Workspace
 }
 
 // SolvePCG runs the resilient preconditioned CG on Ax = b. Both A and M
@@ -60,9 +61,10 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		Trace: cfg.Trace, Pool: cfg.Pool, OnIteration: cfg.OnIteration,
 	}
 	base = base.withDefaults(n)
+	ws := cfg.Ws.begin()
 
-	liveA := a.Clone()
-	liveM := cfg.M.Clone()
+	liveA := ws.liveCopy(a)
+	liveM := ws.liveMCopy(cfg.M)
 	costs := NewCosts(liveA, base.Scheme, base.Costs)
 	// The preconditioner product adds its own iteration and verification
 	// cost on top of the CG baseline.
@@ -93,32 +95,37 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		d = 1
 	}
 
-	st := Stats{Scheme: base.Scheme, D: d, S: s}
-	p := &pcgRun{
+	p := &ws.pr
+	exec := p.exec // preserve the TMR executor's resident replica scratch
+	*p = pcgRun{
 		cfg:   base,
 		costs: costs,
 		a:     liveA,
 		m:     liveM,
 		b:     b,
-		x:     make([]float64, n),
-		r:     vec.Clone(b),
-		z:     make([]float64, n),
-		p:     make([]float64, n),
-		q:     make([]float64, n),
-		st:    &st,
+		x:     ws.takeZero(n),
+		r:     ws.takeCopy(b),
+		z:     ws.take(n),
+		p:     ws.takeZero(n),
+		q:     ws.take(n),
+		rr:    ws.take(n),
 		d:     d,
 		s:     s,
 	}
-	p.state = &fault.State{A: liveA, M: liveM, R: p.r, P: p.p, Q: p.q, X: p.x, Z: p.z}
+	p.stats = Stats{Scheme: base.Scheme, D: d, S: s}
+	st := &p.stats
+	ws.state = fault.State{A: liveA, M: liveM, R: p.r, P: p.p, Q: p.q, X: p.x, Z: p.z}
+	p.state = &ws.state
+	p.exec = exec
 	p.exec.Pool = cfg.Pool
 
 	if base.Scheme != OnlineDetection {
 		mode := abftMode(base.Scheme)
-		p.protA = abft.NewProtected(liveA, mode)
-		p.protM = abft.NewProtected(liveM, mode)
-		p.rGuard = abft.NewGuard(p.r, mode)
-		p.pGuard = abft.NewGuard(p.p, mode)
-		p.xGuard = abft.NewGuard(p.x, mode)
+		p.protA = ws.protected(liveA, mode)
+		p.protM = ws.protectedM(liveM, mode)
+		p.rGuard = ws.guard(0, p.r, mode)
+		p.pGuard = ws.guard(1, p.p, mode)
+		p.xGuard = ws.guard(2, p.x, mode)
 		st.SimTime += SetupCost(liveA, base.Scheme, base.Costs)
 		st.SimTime += SetupCost(liveM, base.Scheme, base.Costs)
 	}
@@ -137,21 +144,25 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		p.xGuard.Refresh(p.x)
 	}
 
-	p.store = checkpoint.NewStore()
-	p.initStore = checkpoint.NewStore()
+	p.store, p.initStore = ws.stores()
+	p.view = ws.liveView(liveA, liveM)
+	p.view.Vectors["x"] = p.x
+	p.view.Vectors["r"] = p.r
+	p.view.Vectors["p"] = p.p
+	p.view.Vectors["z"] = p.z
 	p.save(false)
-	p.initStore.Save(p.snapshot())
+	p.initStore.Save(p.view)
 
 	err := p.loop()
 	st.SimTime = st.TimeIter + st.TimeVerif + st.TimeCkpt + st.TimeRecovery + st.SimTime
 	if cfg.Injector != nil {
 		st.FaultsInjected = cfg.Injector.Stats().Flips
 	}
-	rr := make([]float64, n)
+	rr := p.rr
 	a.MulVecParallel(cfg.Pool, rr, p.x)
 	vec.Sub(rr, b, rr)
 	st.FinalResidual = vec.Norm2(rr) / p.normB
-	return p.x, st, err
+	return p.x, *st, err
 }
 
 type pcgRun struct {
@@ -164,8 +175,10 @@ type pcgRun struct {
 	z     []float64
 	p     []float64
 	q     []float64
+	rr    []float64 // scratch for onlineVerify and the final residual
 	state *fault.State
-	st    *Stats
+	stats Stats
+	view  *checkpoint.State // reusable live-state view for save/rollback
 
 	protA, protM           *abft.Protected
 	rGuard, pGuard, xGuard *abft.VectorGuard
@@ -181,30 +194,20 @@ type pcgRun struct {
 	stuck            int
 }
 
-func (p *pcgRun) snapshot() *checkpoint.State {
-	return &checkpoint.State{
-		A: p.a,
-		M: p.m,
-		Vectors: map[string][]float64{
-			"x": p.x, "r": p.r, "p": p.p, "z": p.z,
-		},
-		Iteration: p.it,
-		Scalars:   map[string]float64{"rho": p.rho},
-	}
-}
-
 func (p *pcgRun) save(charge bool) {
-	p.store.Save(p.snapshot())
+	p.view.Iteration = p.it
+	p.view.Scalars["rho"] = p.rho
+	p.store.Save(p.view)
 	p.last = p.it
 	if charge {
-		p.st.Checkpoints++
-		p.st.TimeCkpt += p.costs.Tcp
+		p.stats.Checkpoints++
+		p.stats.TimeCkpt += p.costs.Tcp
 	}
 }
 
 func (p *pcgRun) loop() error {
 	cfg := p.cfg
-	st := p.st
+	st := &p.stats
 	maxTotal := int64(cfg.MaxIters)*10 + 1000
 	finalRetries := 0
 
@@ -270,7 +273,7 @@ func (p *pcgRun) loop() error {
 }
 
 func (p *pcgRun) iterate(deferred []fault.Event) bool {
-	st := p.st
+	st := &p.stats
 	abftScheme := p.cfg.Scheme != OnlineDetection
 	st.TimeIter += p.costs.Titer
 
@@ -292,7 +295,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 		applyDeferred(fault.TargetVecQ)
 		outQ := p.protA.Verify(p.q, p.p, p.pGuard.Ref(), srA)
 
-		for i, out := range []abft.Outcome{outR, outX, outQ} {
+		for i, out := range [3]abft.Outcome{outR, outX, outQ} {
 			if !out.Detected {
 				continue
 			}
@@ -381,8 +384,7 @@ func (p *pcgRun) iterate(deferred []fault.Event) bool {
 // onlineVerify for PCG: the recomputed-residual test is unchanged; the
 // orthogonality test uses the preconditioned direction.
 func (p *pcgRun) onlineVerify() bool {
-	n := len(p.b)
-	rr := make([]float64, n)
+	rr := p.rr
 	p.a.MulVecRobustParallel(p.cfg.Pool, rr, p.x)
 	vec.Sub(rr, p.b, rr)
 
@@ -414,19 +416,11 @@ func (p *pcgRun) rollback() {
 		p.highWater = 0
 		p.last = 0
 	}
-	liveState := &checkpoint.State{
-		A: p.a,
-		M: p.m,
-		Vectors: map[string][]float64{
-			"x": p.x, "r": p.r, "p": p.p, "z": p.z,
-		},
-		Scalars: map[string]float64{},
-	}
-	store.Restore(liveState)
-	p.it = liveState.Iteration
-	p.rho = liveState.Scalars["rho"]
-	p.st.Rollbacks++
-	p.st.TimeRecovery += p.costs.Trec
+	store.Restore(p.view)
+	p.it = p.view.Iteration
+	p.rho = p.view.Scalars["rho"]
+	p.stats.Rollbacks++
+	p.stats.TimeRecovery += p.costs.Trec
 	if p.cfg.Scheme != OnlineDetection {
 		p.rGuard.Refresh(p.r)
 		p.pGuard.Refresh(p.p)

@@ -76,6 +76,14 @@ type Config struct {
 	// CG, rᵀz for PCG). Tests use it to compare residual histories across
 	// execution modes.
 	OnIteration func(it int, rho float64)
+	// Ws, when non-nil, supplies the working matrix copy, iteration vectors,
+	// checksum encodings and checkpoint stores from a reusable arena: a warm
+	// workspace makes repeated solves allocation-free. The arithmetic is
+	// identical with or without a workspace. Must not be shared by
+	// concurrent solves, and the returned solution vector aliases workspace
+	// memory — copy it out before the next solve on the same workspace
+	// overwrites it.
+	Ws *Workspace
 }
 
 func (c Config) withDefaults(n int) Config {

@@ -20,6 +20,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -164,6 +165,21 @@ func SchemeSlug(s core.Scheme) string {
 	}
 }
 
+// Workspaces bundles the reusable solver arenas of one campaign worker:
+// trials running on it reuse the working matrix copies, iteration vectors,
+// checksum encodings and checkpoint stores, so a warm worker performs
+// per-trial heap allocations only for the bookkeeping the drivers cannot
+// recycle. Not safe for concurrent solves.
+type Workspaces struct {
+	Core   *core.Workspace
+	Solver *solver.Workspace
+}
+
+// wsPool recycles per-worker workspaces across the campaign fan-out.
+var wsPool = sync.Pool{New: func() any {
+	return &Workspaces{Core: core.NewWorkspace(), Solver: solver.NewWorkspace()}
+}}
+
 // SolveOne runs a single trial of the scenario on a prebuilt matrix and
 // right-hand side: it constructs the injector from (sc.Alpha, seed),
 // dispatches on the solver axis and returns the solution and statistics.
@@ -171,13 +187,25 @@ func SchemeSlug(s core.Scheme) string {
 // to fingerprint trajectories). pl, when non-nil, runs the solver kernels
 // on the worker pool; the arithmetic is identical either way.
 func SolveOne(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario, seed int64, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+	return solveOneWs(pl, nil, a, b, sc, seed, onIter)
+}
+
+// solveOneWs is SolveOne drawing solver state from ws (nil allocates
+// fresh). The returned solution aliases workspace memory when ws is
+// non-nil. The arithmetic is identical either way.
+func solveOneWs(pl *pool.Pool, ws *Workspaces, a *sparse.CSR, b []float64, sc Scenario, seed int64, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, core.Stats{}, err
 	}
+	var coreWs *core.Workspace
+	var solverWs *solver.Workspace
+	if ws != nil {
+		coreWs, solverWs = ws.Core, ws.Solver
+	}
 	scheme, unprotected, _ := ParseScheme(sc.Scheme)
 	if unprotected {
-		return solveUnprotected(a, b, sc, onIter)
+		return solveUnprotected(a, b, sc, solverWs, onIter)
 	}
 	var inj *fault.Injector
 	if sc.Alpha > 0 {
@@ -192,16 +220,19 @@ func SolveOne(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario, seed int64
 		return core.SolvePCG(a, b, core.PCGConfig{
 			Scheme: scheme, M: m, S: sc.S, D: sc.D, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			Ws: coreWs,
 		})
 	case "bicgstab":
 		return core.SolveBiCGstab(a, b, core.BiCGstabConfig{
 			Scheme: scheme, S: sc.S, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			Ws: coreWs,
 		})
 	default: // cg
 		return core.Solve(a, b, core.Config{
 			Scheme: scheme, S: sc.S, D: sc.D, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			Ws: coreWs,
 		})
 	}
 }
@@ -209,8 +240,8 @@ func SolveOne(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario, seed int64
 // solveUnprotected runs the fault-free reference solver and shapes its
 // outcome as core.Stats: SimTime is iterations × the raw Titer of the cost
 // model, so overheads computed against it match the paper's normalisation.
-func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
-	opt := solver.Options{Tol: sc.Tol, MaxIter: sc.MaxIters, RecordResiduals: onIter != nil}
+func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, ws *solver.Workspace, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+	opt := solver.Options{Tol: sc.Tol, MaxIter: sc.MaxIters, RecordResiduals: onIter != nil, Ws: ws}
 	if opt.Tol == 0 {
 		opt.Tol = 1e-8
 	}
@@ -303,7 +334,9 @@ func runTrials(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario) (outs []t
 		if rep == 0 {
 			onIter = func(_ int, rho float64) { hist = append(hist, rho) }
 		}
-		_, st, err := SolveOne(kernelPool(pl, sc.Reps), a, b, sc, sc.Seed+int64(rep)*trialSeedStride, onIter)
+		ws := wsPool.Get().(*Workspaces)
+		_, st, err := solveOneWs(kernelPool(pl, sc.Reps), ws, a, b, sc, sc.Seed+int64(rep)*trialSeedStride, onIter)
+		wsPool.Put(ws)
 		outs[rep] = trialOutcome{st: st, failed: err != nil}
 	}
 	if pl == nil || sc.Reps == 1 {

@@ -50,28 +50,20 @@ type Outcome struct {
 	BlockErrors []int
 }
 
-// New partitions a into nblocks row blocks of near-equal size and computes
-// the local checksums. a must be fault-free at this moment.
+// New partitions a into at most nblocks row blocks of approximately equal
+// stored nonzeros (the NNZ-balanced partition of sparse.NNZPartition, so
+// each processing element owns the same amount of SpMxV work rather than
+// the same number of rows) and computes the local checksums. a must be
+// fault-free at this moment.
 func New(a *sparse.CSR, nblocks int) *Protected {
-	if nblocks < 1 {
-		nblocks = 1
-	}
-	if nblocks > a.Rows {
-		nblocks = a.Rows
-	}
+	part := a.NNZPartition(nblocks)
 	p := &Protected{A: a}
-	base := a.Rows / nblocks
-	rem := a.Rows % nblocks
-	row := 0
-	for bi := 0; bi < nblocks; bi++ {
-		rows := base
-		if bi < rem {
-			rows++
-		}
-		b := Block{Row0: row, Rows: rows}
+	p.blocks = make([]Block, 0, part.Chunks())
+	for bi := 0; bi < part.Chunks(); bi++ {
+		lo, hi := part.Bounds[bi], part.Bounds[bi+1]
+		b := Block{Row0: lo, Rows: hi - lo}
 		b.encode(a)
 		p.blocks = append(p.blocks, b)
-		row += rows
 	}
 	return p
 }
@@ -149,16 +141,17 @@ func (p *Protected) MulVecOn(pl *pool.Pool, y, x []float64) Outcome {
 	return out
 }
 
-// mulVerify computes the block's slice of the product, verifies it against
+// mulVerify computes the block's slice of the product — with the slice
+// checksums and max-norm fused into the same traversal — verifies it against
 // the local checksums and attempts a local single-error repair.
 func (b *Block) mulVerify(a *sparse.CSR, y, x []float64) Outcome {
-	sr1, sr2 := b.computeSlice(a, y, x)
+	sr1, sr2, sy1, sy2, yScale := b.computeSlice(a, y, x)
 
 	// Rowidx test (exact integers).
 	if sr1 != b.cr1 || sr2 != b.cr2 {
 		return Outcome{Detected: true}
 	}
-	d1, d2, tol1, tol2 := b.defects(y, x)
+	d1, d2, tol1, tol2 := b.defects(sy1, sy2, yScale, x)
 	if abs(d1) <= tol1 && abs(d2) <= tol2 && finite(d1) && finite(d2) {
 		return Outcome{}
 	}
@@ -170,7 +163,8 @@ func (b *Block) mulVerify(a *sparse.CSR, y, x []float64) Outcome {
 		if absf(pos-float64(ipos)) <= maxf(1e-8*absf(pos), 0.05) && ipos >= 1 && ipos <= b.Rows {
 			gi := b.Row0 + ipos - 1
 			y[gi] = rowProduct(a, gi, x)
-			d1, d2, tol1, tol2 = b.defects(y, x)
+			sy1, sy2, yScale = b.sliceSums(y)
+			d1, d2, tol1, tol2 = b.defects(sy1, sy2, yScale, x)
 			if abs(d1) <= tol1 && abs(d2) <= tol2 {
 				return Outcome{Detected: true, Corrected: true}
 			}
@@ -180,8 +174,10 @@ func (b *Block) mulVerify(a *sparse.CSR, y, x []float64) Outcome {
 }
 
 // computeSlice runs the robust product over the block's rows, returning the
-// running Rowidx checksums.
-func (b *Block) computeSlice(a *sparse.CSR, y, x []float64) (sr1, sr2 float64) {
+// running Rowidx checksums plus the fused slice checksums sy1 = Σ yᵢ,
+// sy2 = Σ (i+1)·yᵢ (local weights) and the slice max-norm. Accumulation
+// orders match the unfused slice-then-sums sequence bit for bit.
+func (b *Block) computeSlice(a *sparse.CSR, y, x []float64) (sr1, sr2, sy1, sy2, yScale float64) {
 	nnz := len(a.Val)
 	for i := 0; i <= b.Rows; i++ {
 		v := float64(a.Rowidx[b.Row0+i])
@@ -204,19 +200,31 @@ func (b *Block) computeSlice(a *sparse.CSR, y, x []float64) (sr1, sr2 float64) {
 			}
 		}
 		y[gi] = s
+		sy1 += s
+		sy2 += float64(i+1) * s
+		if a := absf(s); a > yScale {
+			yScale = a
+		}
 	}
-	return sr1, sr2
+	return sr1, sr2, sy1, sy2, yScale
 }
 
-// defects compares the block's output slice against the local column
-// checksums applied to x, with a norm-based tolerance.
-func (b *Block) defects(y, x []float64) (d1, d2, tol1, tol2 float64) {
-	var s1, s2 float64
+// sliceSums recomputes the fused slice quantities from y after a repair.
+func (b *Block) sliceSums(y []float64) (sy1, sy2, yScale float64) {
 	for i := 0; i < b.Rows; i++ {
 		v := y[b.Row0+i]
-		s1 += v
-		s2 += float64(i+1) * v
+		sy1 += v
+		sy2 += float64(i+1) * v
+		if a := absf(v); a > yScale {
+			yScale = a
+		}
 	}
+	return sy1, sy2, yScale
+}
+
+// defects compares the block's (precomputed) output-slice checksums against
+// the local column checksums applied to x, with a norm-based tolerance.
+func (b *Block) defects(sy1, sy2, yScale float64, x []float64) (d1, d2, tol1, tol2 float64) {
 	var c1x, c2x, absScale float64
 	for j, xj := range x {
 		c1x += b.c1[j] * xj
@@ -225,18 +233,12 @@ func (b *Block) defects(y, x []float64) (d1, d2, tol1, tol2 float64) {
 			absScale = a
 		}
 	}
-	var yScale float64
-	for i := 0; i < b.Rows; i++ {
-		if a := absf(y[b.Row0+i]); a > yScale {
-			yScale = a
-		}
-	}
 	n := float64(len(x) + b.Rows)
 	g := 8 * checksum.Gamma(2*(len(x)+b.Rows))
 	tol1 = g * n * (absScale + yScale)
 	tol2 = g * n * float64(b.Rows) * (absScale + yScale)
-	d1 = s1 - c1x
-	d2 = s2 - c2x
+	d1 = sy1 - c1x
+	d2 = sy2 - c2x
 	return
 }
 

@@ -118,6 +118,50 @@ func (p *Pool) chunksFor(n, grain int) (nchunks, size int) {
 	return nchunks, size
 }
 
+// job carries the dispatch state of one Run/RunRanges call. Jobs are
+// recycled through a sync.Pool and each job's task closure is built once at
+// allocation, so steady-state dispatches perform no heap allocation of
+// their own (the caller's fn closure is the only per-call capture).
+type job struct {
+	cursor  atomic.Int64
+	wg      sync.WaitGroup
+	n, size int
+	nchunks int
+	bounds  []int // non-nil: explicit chunk boundaries (RunRanges)
+	fn      func(lo, hi int)
+	task    func()
+}
+
+var jobPool = sync.Pool{New: func() any {
+	j := &job{}
+	j.task = func() {
+		j.drain()
+		j.wg.Done()
+	}
+	return j
+}}
+
+// drain claims chunks off the job's atomic cursor until none remain.
+func (j *job) drain() {
+	for {
+		c := int(j.cursor.Add(1) - 1)
+		if c >= j.nchunks {
+			return
+		}
+		var lo, hi int
+		if j.bounds != nil {
+			lo, hi = j.bounds[c], j.bounds[c+1]
+		} else {
+			lo = c * j.size
+			hi = lo + j.size
+			if hi > j.n {
+				hi = j.n
+			}
+		}
+		j.fn(lo, hi)
+	}
+}
+
 // Run partitions [0, n) into chunks of at least grain indices and executes
 // fn(lo, hi) over the chunks concurrently, blocking until every chunk has
 // completed. Chunks are claimed dynamically (an atomic cursor), so uneven
@@ -136,45 +180,57 @@ func (p *Pool) Run(n, grain int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	p.dispatch(nchunks, n, size, nil, fn)
+}
+
+// RunRanges executes fn over the explicit consecutive chunks
+// [bounds[c], bounds[c+1]) for c in [0, len(bounds)-1), claimed dynamically
+// exactly like Run's uniform chunks. The caller provides the boundaries —
+// typically a precomputed work-balanced partition (see sparse.Partition) —
+// so dispatch does no per-call planning. A single chunk, a single-worker
+// pool or a closed pool runs inline on the caller.
+func (p *Pool) RunRanges(bounds []int, fn func(lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks <= 0 {
+		return
+	}
+	if nchunks == 1 || p.workers == 1 || p.closed.Load() {
+		fn(bounds[0], bounds[nchunks])
+		return
+	}
+	p.dispatch(nchunks, 0, 0, bounds, fn)
+}
+
+// dispatch hands the chunk queue to idle resident workers and drains it on
+// the calling goroutine, blocking until every chunk completed.
+func (p *Pool) dispatch(nchunks, n, size int, bounds []int, fn func(lo, hi int)) {
 	p.ensureStarted()
 
-	var cursor atomic.Int64
-	drain := func() {
-		for {
-			c := int(cursor.Add(1) - 1)
-			if c >= nchunks {
-				return
-			}
-			lo := c * size
-			hi := lo + size
-			if hi > n {
-				hi = n
-			}
-			fn(lo, hi)
-		}
-	}
+	j := jobPool.Get().(*job)
+	j.cursor.Store(0)
+	j.n, j.size, j.nchunks = n, size, nchunks
+	j.bounds, j.fn = bounds, fn
 
-	var wg sync.WaitGroup
 	helpers := p.workers - 1
 	if helpers > nchunks-1 {
 		helpers = nchunks - 1
 	}
+	j.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
-		wg.Add(1)
-		task := func() {
-			defer wg.Done()
-			drain()
-		}
 		select {
-		case p.tasks <- task:
+		case p.tasks <- j.task:
 		default:
 			// Every resident worker is busy (e.g. nested parallelism):
 			// the caller drains the queue alone rather than waiting.
-			wg.Done()
+			j.wg.Done()
 		}
 	}
-	drain()
-	wg.Wait()
+	j.drain()
+	j.wg.Wait()
+
+	j.fn = nil
+	j.bounds = nil
+	jobPool.Put(j)
 }
 
 // ForEach executes fn(i) for every i in [0, n) across the pool, blocking

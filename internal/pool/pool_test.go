@@ -193,3 +193,51 @@ func TestRunZeroAndNegativeN(t *testing.T) {
 		t.Fatal("RunErr must be nil for n <= 0")
 	}
 }
+
+// --- RunRanges ---
+
+func TestRunRangesCoversBounds(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	bounds := []int{0, 5, 7, 100, 101, 256}
+	n := bounds[len(bounds)-1]
+	var hits [256]int32
+	p.RunRanges(bounds, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i := 0; i < n; i++ {
+		if hits[i] != 1 {
+			t.Fatalf("index %d executed %d times, want 1", i, hits[i])
+		}
+	}
+}
+
+func TestRunRangesDegenerate(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	ran := false
+	p.RunRanges(nil, func(lo, hi int) { ran = true })
+	p.RunRanges([]int{}, func(lo, hi int) { ran = true })
+	p.RunRanges([]int{3}, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("RunRanges executed fn on empty bounds")
+	}
+	// Single chunk runs inline on the caller.
+	got := -1
+	p.RunRanges([]int{2, 9}, func(lo, hi int) { got = hi - lo })
+	if got != 7 {
+		t.Fatalf("single-range chunk = %d, want 7", got)
+	}
+}
+
+func TestRunRangesOnClosedPoolRunsInline(t *testing.T) {
+	p := New(4)
+	p.Close()
+	var sum int
+	p.RunRanges([]int{0, 2, 4}, func(lo, hi int) { sum += hi - lo })
+	if sum != 4 {
+		t.Fatalf("closed-pool RunRanges covered %d indices, want 4", sum)
+	}
+}

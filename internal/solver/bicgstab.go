@@ -18,20 +18,24 @@ func BiCGstab(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("solver: BiCGstab dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
 	}
 	opt = opt.withDefaults(n)
+	ws := opt.Ws.begin()
 
-	x := make([]float64, n)
+	x := ws.takeZero(n)
 	if opt.X0 != nil {
 		copy(x, opt.X0)
 	}
-	r := make([]float64, n)
-	tmp := make([]float64, n)
-	a.MulVec(tmp, x)
-	vec.Sub(r, b, tmp)
-	rHat := vec.Clone(r) // shadow residual, fixed
-	p := make([]float64, n)
-	v := make([]float64, n)
-	s := make([]float64, n)
-	t := make([]float64, n)
+	r := ws.take(n)
+	t := ws.take(n) // A·s later; r0 scratch now
+	a.MulVec(t, x)
+	vec.Sub(r, b, t)
+	rHat := ws.take(n) // shadow residual, fixed
+	copy(rHat, r)
+	p := ws.take(n)
+	v := ws.take(n)
+	s := ws.take(n)
+	for i := range n {
+		p[i], v[i], s[i] = 0, 0, 0
+	}
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
@@ -48,7 +52,7 @@ func BiCGstab(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true
-			res.Residual = trueResidual(a, x, b)
+			res.Residual = trueResidualInto(t, a, x, b)
 			return res, nil
 		}
 
@@ -80,7 +84,7 @@ func BiCGstab(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 			vec.Axpy(alpha, p, x)
 			res.Iterations = it + 1
 			res.Converged = true
-			res.Residual = trueResidual(a, x, b)
+			res.Residual = trueResidualInto(t, a, x, b)
 			return res, nil
 		}
 
@@ -99,7 +103,7 @@ func BiCGstab(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		vec.AxpyTo(r, -omega, t, s)
 		res.Iterations = it + 1
 	}
-	res.Residual = trueResidual(a, x, b)
+	res.Residual = trueResidualInto(t, a, x, b)
 	res.Converged = res.Residual <= opt.Tol*normB
 	if !res.Converged {
 		return res, fmt.Errorf("%w: BiCGstab after %d iterations", ErrNotConverged, res.Iterations)

@@ -31,6 +31,10 @@ type Options struct {
 	// RecordResiduals, when true, stores ‖r‖ at every iteration in the
 	// result (used by convergence tests and plots).
 	RecordResiduals bool
+	// Ws, when non-nil, supplies the iteration vectors from a reusable
+	// workspace: a warm workspace makes the whole solve allocation-free.
+	// Result.X then aliases workspace memory — copy it out before reuse.
+	Ws *Workspace
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -62,17 +66,19 @@ func CG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("solver: CG dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
 	}
 	opt = opt.withDefaults(n)
+	ws := opt.Ws.begin()
 
-	x := make([]float64, n)
+	x := ws.takeZero(n)
 	if opt.X0 != nil {
 		copy(x, opt.X0)
 	}
-	r := make([]float64, n)
-	q := make([]float64, n)
+	r := ws.take(n)
+	q := ws.take(n)
 	// r0 = b − A x0
 	a.MulVec(q, x)
 	vec.Sub(r, b, q)
-	p := vec.Clone(r)
+	p := ws.take(n)
+	copy(p, r)
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
@@ -88,7 +94,7 @@ func CG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if math.Sqrt(rho) <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true
-			res.Residual = trueResidual(a, x, b)
+			res.Residual = trueResidualInto(q, a, x, b)
 			return res, nil
 		}
 		a.MulVec(q, p)
@@ -105,7 +111,7 @@ func CG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		rho = rhoNew
 		res.Iterations = it + 1
 	}
-	res.Residual = trueResidual(a, x, b)
+	res.Residual = trueResidualInto(q, a, x, b)
 	res.Converged = math.Sqrt(rho) <= opt.Tol*normB
 	if !res.Converged {
 		return res, fmt.Errorf("%w: CG after %d iterations, ‖r‖/‖b‖ = %.3e",
@@ -123,27 +129,28 @@ func PCG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("solver: PCG dimension mismatch: A %dx%d, len(b)=%d", a.Rows, a.Cols, len(b))
 	}
 	opt = opt.withDefaults(n)
+	ws := opt.Ws.begin()
 
-	diag := a.Diag()
-	invD := make([]float64, n)
-	for i, d := range diag {
+	invD := a.DiagInto(ws.take(n))
+	for i, d := range invD {
 		if d == 0 {
 			return Result{}, fmt.Errorf("solver: PCG needs a nonzero diagonal (row %d)", i)
 		}
 		invD[i] = 1 / d
 	}
 
-	x := make([]float64, n)
+	x := ws.takeZero(n)
 	if opt.X0 != nil {
 		copy(x, opt.X0)
 	}
-	r := make([]float64, n)
-	q := make([]float64, n)
-	z := make([]float64, n)
+	r := ws.take(n)
+	q := ws.take(n)
+	z := ws.take(n)
 	a.MulVec(q, x)
 	vec.Sub(r, b, q)
 	applyDiag(z, invD, r)
-	p := vec.Clone(z)
+	p := ws.take(n)
+	copy(p, z)
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
@@ -160,7 +167,7 @@ func PCG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true
-			res.Residual = trueResidual(a, x, b)
+			res.Residual = trueResidualInto(q, a, x, b)
 			return res, nil
 		}
 		a.MulVec(q, p)
@@ -178,7 +185,7 @@ func PCG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		rho = rhoNew
 		res.Iterations = it + 1
 	}
-	res.Residual = trueResidual(a, x, b)
+	res.Residual = trueResidualInto(q, a, x, b)
 	res.Converged = vec.Norm2(r) <= opt.Tol*normB
 	if !res.Converged {
 		return res, fmt.Errorf("%w: PCG after %d iterations", ErrNotConverged, res.Iterations)
@@ -200,18 +207,20 @@ func PCGWith(a, m *sparse.CSR, b []float64, opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("solver: PCG needs an n×n preconditioner")
 	}
 	opt = opt.withDefaults(n)
+	ws := opt.Ws.begin()
 
-	x := make([]float64, n)
+	x := ws.takeZero(n)
 	if opt.X0 != nil {
 		copy(x, opt.X0)
 	}
-	r := make([]float64, n)
-	q := make([]float64, n)
-	z := make([]float64, n)
+	r := ws.take(n)
+	q := ws.take(n)
+	z := ws.take(n)
 	a.MulVec(q, x)
 	vec.Sub(r, b, q)
 	m.MulVec(z, r)
-	p := vec.Clone(z)
+	p := ws.take(n)
+	copy(p, z)
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
@@ -228,7 +237,7 @@ func PCGWith(a, m *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true
-			res.Residual = trueResidual(a, x, b)
+			res.Residual = trueResidualInto(q, a, x, b)
 			return res, nil
 		}
 		a.MulVec(q, p)
@@ -246,7 +255,7 @@ func PCGWith(a, m *sparse.CSR, b []float64, opt Options) (Result, error) {
 		rho = rhoNew
 		res.Iterations = it + 1
 	}
-	res.Residual = trueResidual(a, x, b)
+	res.Residual = trueResidualInto(q, a, x, b)
 	res.Converged = vec.Norm2(r) <= opt.Tol*normB
 	if !res.Converged {
 		return res, fmt.Errorf("%w: PCG after %d iterations", ErrNotConverged, res.Iterations)
@@ -260,8 +269,9 @@ func applyDiag(dst, invD, r []float64) {
 	}
 }
 
-func trueResidual(a *sparse.CSR, x, b []float64) float64 {
-	t := make([]float64, len(b))
+// trueResidualInto recomputes ‖b − Ax‖ using t as scratch (any length-n
+// buffer whose contents are dead, typically q).
+func trueResidualInto(t []float64, a *sparse.CSR, x, b []float64) float64 {
 	a.MulVec(t, x)
 	vec.Sub(t, b, t)
 	return vec.Norm2(t)

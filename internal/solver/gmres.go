@@ -144,7 +144,7 @@ func GMRES(a *sparse.CSR, b []float64, opt GMRESOptions) (Result, error) {
 		res.Iterations = totalIters
 	}
 
-	res.Residual = trueResidual(a, x, b)
+	res.Residual = trueResidualInto(make([]float64, len(b)), a, x, b)
 	res.Converged = res.Residual <= opt.Tol*normB
 	if !res.Converged {
 		return res, fmt.Errorf("%w: GMRES after %d iterations, ‖r‖/‖b‖ = %.3e",

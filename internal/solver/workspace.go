@@ -1,0 +1,61 @@
+package solver
+
+// Workspace holds the reusable iteration vectors of the unprotected
+// solvers. A solve that carries a workspace (Options.Ws) performs zero
+// heap allocations once the workspace is warm: the iteration vectors, the
+// preconditioner scratch and the true-residual scratch all come from here,
+// and steady-state iterations allocate nothing to begin with.
+//
+// A workspace may be reused across solves of any sizes (buffers grow as
+// needed and shrink never) but must not be shared by concurrent solves.
+// Result.X aliases workspace memory when a workspace is used: the caller
+// must copy it out before the next solve reuses the buffer.
+type Workspace struct {
+	bufs [][]float64
+	next int
+}
+
+// NewWorkspace returns an empty workspace; buffers are created on first
+// use and recycled afterwards.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// begin resets the take cursor for a new solve. A nil receiver returns a
+// fresh workspace so the solvers can call it unconditionally.
+func (w *Workspace) begin() *Workspace {
+	if w == nil {
+		return &Workspace{}
+	}
+	w.next = 0
+	return w
+}
+
+// take returns the next length-n scratch buffer. Contents are NOT zeroed —
+// each use site initialises explicitly (the take order inside a solver is
+// fixed, so a warm workspace hands back the same buffers every solve).
+func (w *Workspace) take(n int) []float64 {
+	if w.next < len(w.bufs) {
+		b := w.bufs[w.next]
+		if cap(b) >= n {
+			w.bufs[w.next] = b[:n]
+			w.next++
+			return b[:n]
+		}
+	}
+	b := make([]float64, n)
+	if w.next < len(w.bufs) {
+		w.bufs[w.next] = b
+	} else {
+		w.bufs = append(w.bufs, b)
+	}
+	w.next++
+	return b
+}
+
+// takeZero is take with the buffer cleared.
+func (w *Workspace) takeZero(n int) []float64 {
+	b := w.take(n)
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}

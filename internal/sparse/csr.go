@@ -25,6 +25,11 @@ type CSR struct {
 	Val        []float64
 	Colid      []int
 	Rowidx     []int
+
+	// plan caches NNZ-balanced partition plans for the parallel kernels
+	// (see partition.go). It is derived data — never serialised, never
+	// compared — and CopyFrom invalidates it.
+	plan planCache
 }
 
 // NNZ returns the number of stored nonzeros.
@@ -101,6 +106,9 @@ func (m *CSR) CopyFrom(src *CSR) {
 	copy(m.Val, src.Val)
 	copy(m.Colid, src.Colid)
 	copy(m.Rowidx, src.Rowidx)
+	// The restored Rowidx may differ from the one the cached partition
+	// plans were balanced for (a rollback can undo a repaired pointer).
+	m.InvalidatePlans()
 }
 
 // Equal reports whether two matrices are structurally and numerically
@@ -143,6 +151,30 @@ func (m *CSR) MulVec(y, x []float64) {
 	}
 }
 
+// MulVecSums computes y ← Ax and, fused into the same traversal, the
+// two weighted output checksums s1 = Σ yᵢ and s2 = Σ (i+1)·yᵢ. Each row is
+// accumulated left-to-right exactly as in MulVec and the checksums are
+// accumulated in row order exactly as checksum.Sums would over the finished
+// y, so both the output vector and the sums are bitwise identical to the
+// unfused MulVec-then-Sums sequence — while Val, Colid and y are read once
+// instead of twice.
+func (m *CSR) MulVecSums(y, x []float64) (s1, s2 float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecSums dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
+			s += m.Val[k] * x[m.Colid[k]]
+		}
+		y[i] = s
+		s1 += s
+		s2 += float64(i+1) * s
+	}
+	return s1, s2
+}
+
 // MulVecRobust computes y ← Ax tolerating a corrupted representation: row
 // pointer ranges are clamped to the valid nonzero range and out-of-range
 // column indices contribute nothing. The resilient drivers use it so that a
@@ -170,6 +202,54 @@ func (m *CSR) MulVecRobust(y, x []float64) {
 		}
 		y[i] = s
 	}
+}
+
+// MulVecRobustSums is MulVecRobust fused with output checksum and max-norm
+// accumulation: in one traversal it computes y ← Ax (clamped row-pointer
+// ranges, skipped out-of-range column indices), the weighted sums
+// s1 = Σ yᵢ and s2 = Σ (i+1)·yᵢ, and normY = maxᵢ|yᵢ|. The per-row
+// accumulation order matches MulVecRobust and the checksum accumulation
+// order matches checksum.Sums over the finished vector, so every returned
+// quantity is bitwise identical to the unfused multi-pass sequence.
+//
+// Note that abft.Protected.MulVec deliberately does NOT use this kernel
+// for its defect tests: the window between a protected product and its
+// verification is part of the ABFT protection contract, so Verify must
+// re-read y (see the comment there). This kernel serves callers whose
+// checksum consumer needs the sums of the product as written — e.g.
+// capturing a reliable reference of a freshly computed vector in the same
+// pass, as the per-block verification in internal/parallel does for its
+// own output slices.
+func (m *CSR) MulVecRobustSums(y, x []float64) (s1, s2, normY float64) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(fmt.Sprintf("sparse: MulVecRobustSums dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
+			m.Rows, m.Cols, len(x), len(y)))
+	}
+	nnz := len(m.Val)
+	for i := 0; i < m.Rows; i++ {
+		lo, hi := m.Rowidx[i], m.Rowidx[i+1]
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nnz {
+			hi = nnz
+		}
+		var s float64
+		for k := lo; k < hi; k++ {
+			if ind := m.Colid[k]; uint(ind) < uint(len(x)) {
+				s += m.Val[k] * x[ind]
+			}
+		}
+		y[i] = s
+		s1 += s
+		s2 += float64(i+1) * s
+		if s > normY {
+			normY = s
+		} else if -s > normY {
+			normY = -s
+		}
+	}
+	return s1, s2, normY
 }
 
 // MulVecRow recomputes the single output entry yᵢ = Σ_k Val[k]·x[Colid[k]]
@@ -261,8 +341,17 @@ func (m *CSR) ColSums() []float64 {
 // Diag returns the diagonal entries of the matrix (zero where no stored
 // diagonal entry exists). Used by the Jacobi preconditioner.
 func (m *CSR) Diag() []float64 {
-	d := make([]float64, m.Rows)
+	return m.DiagInto(make([]float64, m.Rows))
+}
+
+// DiagInto fills d (length Rows, caller-provided so hot paths can reuse
+// scratch) with the diagonal entries and returns it.
+func (m *CSR) DiagInto(d []float64) []float64 {
+	if len(d) != m.Rows {
+		panic(fmt.Sprintf("sparse: DiagInto scratch length %d, want %d", len(d), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
+		d[i] = 0
 		for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
 			if m.Colid[k] == i {
 				d[i] = m.Val[k]

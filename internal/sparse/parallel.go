@@ -13,17 +13,19 @@ import (
 // products go through the pool.
 const ParallelMinRows = 2048
 
-// parallelRowGrain is the minimum number of rows per scheduled chunk.
-// Chunks are claimed dynamically, so nonzero skew across row ranges is
-// balanced by the pool rather than by a static nnz partition.
+// parallelRowGrain is the minimum number of rows per scheduled chunk,
+// bounding the NNZ-balanced partition's chunk count so dispatch overhead
+// stays negligible on small matrices.
 const parallelRowGrain = 256
 
 // MulVecParallel computes y ← Ax with the row range executed across the
-// pool. Every output row is computed by exactly the same left-to-right
-// accumulation as MulVec, and rows are written to disjoint slices of y, so
-// the result is bitwise identical to the sequential product for any worker
-// count. A nil pool, a single-worker pool or a small matrix all run
-// sequentially.
+// pool, chunked by the matrix's cached NNZ-balanced partition plan (see
+// partition.go) so every chunk carries approximately equal work even under
+// skewed nonzero distributions. Every output row is computed by exactly the
+// same left-to-right accumulation as MulVec, and rows are written to
+// disjoint slices of y, so the result is bitwise identical to the
+// sequential product for any worker count and any plan. A nil pool, a
+// single-worker pool or a small matrix all run sequentially.
 func (m *CSR) MulVecParallel(p *pool.Pool, y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVecParallel dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
@@ -33,7 +35,7 @@ func (m *CSR) MulVecParallel(p *pool.Pool, y, x []float64) {
 		m.MulVec(y, x)
 		return
 	}
-	p.Run(m.Rows, parallelRowGrain, func(lo, hi int) {
+	p.RunRanges(m.PlanFor(p.Workers()).Bounds, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var s float64
 			for k := m.Rowidx[i]; k < m.Rowidx[i+1]; k++ {
@@ -49,7 +51,9 @@ func (m *CSR) MulVecParallel(p *pool.Pool, y, x []float64) {
 // column indices contribute nothing, so a bit flip in Colid or Rowidx
 // perturbs the product instead of crashing a worker. Row i's accumulation
 // order matches MulVecRobust exactly, so sequential and parallel execution
-// agree bitwise.
+// agree bitwise. The NNZ-balanced plan may be stale for a corrupted Rowidx
+// (plans are balanced on the trusted structure); that only skews the load,
+// never the result.
 func (m *CSR) MulVecRobustParallel(p *pool.Pool, y, x []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVecRobustParallel dimensions: A is %dx%d, len(x)=%d, len(y)=%d",
@@ -60,7 +64,7 @@ func (m *CSR) MulVecRobustParallel(p *pool.Pool, y, x []float64) {
 		return
 	}
 	nnz := len(m.Val)
-	p.Run(m.Rows, parallelRowGrain, func(lo, hi int) {
+	p.RunRanges(m.PlanFor(p.Workers()).Bounds, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rlo, rhi := m.Rowidx[i], m.Rowidx[i+1]
 			if rlo < 0 {

@@ -33,6 +33,10 @@ type Executor struct {
 
 	votes      int64
 	mismatches int64
+
+	// replicas is the resident scratch for the element-wise voted kernels:
+	// reused across calls so steady-state TMR iterations allocate nothing.
+	replicas [3][]float64
 }
 
 // Stats reports how many votes were taken and how many had a dissenting
@@ -54,26 +58,45 @@ func (e *Executor) voteScalar(a, b, c float64) float64 {
 	return b // b == c, or total disagreement
 }
 
-// Dot computes aᵀb with TMR.
+// Dot computes aᵀb with TMR. The fault-free fast path takes no replica
+// addresses, so the replicas stay on the stack and the call is
+// allocation-free; the Corrupt hook (tests and campaigns only) goes through
+// the slow path.
 func (e *Executor) Dot(a, b []float64) float64 {
+	if e.Corrupt != nil {
+		return e.dotCorrupt(a, b)
+	}
+	r0 := vec.DotPool(e.Pool, a, b)
+	r1 := vec.DotPool(e.Pool, a, b)
+	r2 := vec.DotPool(e.Pool, a, b)
+	return e.voteScalar(r0, r1, r2)
+}
+
+func (e *Executor) dotCorrupt(a, b []float64) float64 {
 	var r [3]float64
 	for i := 0; i < 3; i++ {
 		r[i] = vec.DotPool(e.Pool, a, b)
-		if e.Corrupt != nil {
-			e.Corrupt(i, &r[i], nil)
-		}
+		e.Corrupt(i, &r[i], nil)
 	}
 	return e.voteScalar(r[0], r[1], r[2])
 }
 
-// Norm2Sq computes ‖a‖₂² with TMR.
+// Norm2Sq computes ‖a‖₂² with TMR (fast/corrupt split as in Dot).
 func (e *Executor) Norm2Sq(a []float64) float64 {
+	if e.Corrupt != nil {
+		return e.norm2SqCorrupt(a)
+	}
+	r0 := vec.Norm2SqPool(e.Pool, a)
+	r1 := vec.Norm2SqPool(e.Pool, a)
+	r2 := vec.Norm2SqPool(e.Pool, a)
+	return e.voteScalar(r0, r1, r2)
+}
+
+func (e *Executor) norm2SqCorrupt(a []float64) float64 {
 	var r [3]float64
 	for i := 0; i < 3; i++ {
 		r[i] = vec.Norm2SqPool(e.Pool, a)
-		if e.Corrupt != nil {
-			e.Corrupt(i, &r[i], nil)
-		}
+		e.Corrupt(i, &r[i], nil)
 	}
 	return e.voteScalar(r[0], r[1], r[2])
 }
@@ -108,7 +131,10 @@ func (e *Executor) applyVoted(out []float64, op func(dst []float64)) {
 	n := len(out)
 	var bufs [3][]float64
 	for i := 0; i < 3; i++ {
-		bufs[i] = make([]float64, n)
+		if cap(e.replicas[i]) < n {
+			e.replicas[i] = make([]float64, n)
+		}
+		bufs[i] = e.replicas[i][:n]
 		op(bufs[i])
 		if e.Corrupt != nil {
 			e.Corrupt(i, nil, bufs[i])

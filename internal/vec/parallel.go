@@ -1,6 +1,10 @@
 package vec
 
-import "repro/internal/pool"
+import (
+	"sync"
+
+	"repro/internal/pool"
+)
 
 // This file provides pool-parallel variants of the hot level-1 kernels. The
 // reductions (DotPool, Norm2SqPool) use a *deterministic blocked* scheme:
@@ -26,11 +30,23 @@ const minParallel = 2 * BlockSize
 // blocks returns the number of BlockSize blocks covering a length-n vector.
 func blocks(n int) int { return (n + BlockSize - 1) / BlockSize }
 
+// partialsPool recycles the per-reduction partial-sum scratch so the
+// blocked reductions allocate nothing in steady state. Partials are
+// indexed, not appended, so stale contents never leak into a fold.
+var partialsPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 64)
+	return &s
+}}
+
 // foldBlocks runs partial(bi) for every block index across the pool and
 // folds the partials in ascending block order.
 func foldBlocks(p *pool.Pool, n int, partial func(lo, hi int) float64) float64 {
 	nb := blocks(n)
-	partials := make([]float64, nb)
+	scratch := partialsPool.Get().(*[]float64)
+	if cap(*scratch) < nb {
+		*scratch = make([]float64, nb)
+	}
+	partials := (*scratch)[:nb]
 	body := func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			lo := bi * BlockSize
@@ -50,15 +66,34 @@ func foldBlocks(p *pool.Pool, n int, partial func(lo, hi int) float64) float64 {
 	for _, v := range partials {
 		s += v
 	}
+	partialsPool.Put(scratch)
 	return s
 }
 
 // DotPool returns aᵀb using the deterministic blocked reduction, parallel
-// across p (sequential when p is nil, same result bit for bit).
+// across p (sequential when p is nil, same result bit for bit). The
+// sequential path folds block partials inline — no scratch, no escaping
+// closures — so it allocates nothing.
 func DotPool(p *pool.Pool, a, b []float64) float64 {
 	checkLen("DotPool", a, b)
 	if len(a) <= BlockSize {
 		return Dot(a, b)
+	}
+	if p == nil {
+		n := len(a)
+		var total float64
+		for lo := 0; lo < n; lo += BlockSize {
+			hi := lo + BlockSize
+			if hi > n {
+				hi = n
+			}
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a[i] * b[i]
+			}
+			total += s
+		}
+		return total
 	}
 	return foldBlocks(p, len(a), func(lo, hi int) float64 {
 		var s float64
@@ -73,6 +108,22 @@ func DotPool(p *pool.Pool, a, b []float64) float64 {
 func Norm2SqPool(p *pool.Pool, a []float64) float64 {
 	if len(a) <= BlockSize {
 		return Norm2Sq(a)
+	}
+	if p == nil {
+		n := len(a)
+		var total float64
+		for lo := 0; lo < n; lo += BlockSize {
+			hi := lo + BlockSize
+			if hi > n {
+				hi = n
+			}
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += a[i] * a[i]
+			}
+			total += s
+		}
+		return total
 	}
 	return foldBlocks(p, len(a), func(lo, hi int) float64 {
 		var s float64
