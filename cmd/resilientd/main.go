@@ -1,0 +1,104 @@
+// Command resilientd is the resident resilient-solve service: it serves
+// the HTTP/JSON API of internal/server — POST /v1/solve, GET /v1/stats,
+// GET /v1/healthz — scheduling solve requests over the shared worker-pool
+// engine with a bounded queue, per-request deadlines and a per-matrix
+// artifact cache that keeps checksum encodings, partition plans,
+// preconditioners and warm solver workspaces resident between requests.
+//
+//	resilientd -addr 127.0.0.1:8723
+//	resilientd -workers 8 -concurrency 4 -queue 128 -cache 64
+//
+// SIGINT/SIGTERM drain gracefully: new solves are refused, everything
+// already admitted completes and is delivered, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "resilientd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until ctx is cancelled (the signal
+// path) or the listener fails. When started is non-nil it receives the
+// bound address once the listener is up — tests bind :0 and read it back.
+func run(ctx context.Context, args []string, stderr io.Writer, started chan<- net.Addr) error {
+	fs := flag.NewFlagSet("resilientd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "127.0.0.1:8723", "listen address")
+		workers     = fs.Int("workers", 0, "kernel pool size: 0 = GOMAXPROCS, 1 = sequential kernels")
+		concurrency = fs.Int("concurrency", 0, "solves executing at once (0 = GOMAXPROCS/2)")
+		queue       = fs.Int("queue", 64, "bounded queue depth; beyond it requests get 429")
+		cacheSize   = fs.Int("cache", 32, "per-matrix artifact cache entries (LRU)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "clamp on requested deadlines")
+		quiet       = fs.Bool("q", false, "suppress startup and drain logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		Concurrency:    *concurrency,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Shutdown()
+		return err
+	}
+	if started != nil {
+		started <- ln.Addr()
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "resilientd: listening on %s\n", ln.Addr())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	if !*quiet {
+		fmt.Fprintln(stderr, "resilientd: draining")
+	}
+	// Refuse new solves first — health probes see "draining", not a dead
+	// listener — then stop accepting connections and let in-flight
+	// handlers collect their solves, then drain the solve queue itself.
+	srv.StartDraining()
+	sctx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+	defer cancel()
+	httpErr := hs.Shutdown(sctx)
+	srv.Shutdown()
+	if !*quiet {
+		fmt.Fprintln(stderr, "resilientd: drained")
+	}
+	return httpErr
+}

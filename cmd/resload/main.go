@@ -1,0 +1,416 @@
+// Command resload is the load generator for resilientd: it drives a
+// running service with a deterministic concurrent mix of solve requests
+// (matrices × solvers × schemes), measures throughput and latency
+// percentiles, and cross-checks determinism — every response for the same
+// request cell must carry the same residual-history hash.
+//
+//	resload -addr http://127.0.0.1:8723 -n 64 -c 8
+//	resload -addr ... -json -out load.json
+//	resload -addr ... -check        # nonzero exit unless all OK and deterministic
+//
+// The emitted record is schema-versioned JSON in the same style as the
+// campaign and benchmark tooling, so CI can gate on it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// Schema identifies the resload record layout; bump on incompatible
+// changes.
+const Schema = 1
+
+// Record is one load run.
+type Record struct {
+	Schema   int    `json:"schema"`
+	Addr     string `json:"addr"`
+	Requests int    `json:"requests"`
+	// Concurrency is the number of client workers that issued them.
+	Concurrency int `json:"concurrency"`
+	// Outcome counts. OK are HTTP 200 with no solve error; Rejected are
+	// 429 (queue full), Expired are 504 (deadline), SolveErrors are 200s
+	// whose solver failed, TransportErrors never got a response.
+	OK              int `json:"ok"`
+	SolveErrors     int `json:"solve_errors"`
+	Rejected        int `json:"rejected"`
+	Expired         int `json:"expired"`
+	TransportErrors int `json:"transport_errors"`
+	OtherErrors     int `json:"other_errors"`
+	// CacheHits counts responses served from a warm per-matrix entry.
+	CacheHits int `json:"cache_hits"`
+	// WallSeconds spans first send to last response; Throughput is
+	// OK / WallSeconds.
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"throughput_rps"`
+	// Latency summarises the per-request round-trip times of all
+	// responses (errors included — they consumed client time too).
+	Latency LatencySummary `json:"latency"`
+	// Mix reports per-cell determinism: DistinctHashes must be 1 for
+	// every cell with at least one OK response.
+	Mix           []MixCell `json:"mix"`
+	Deterministic bool      `json:"deterministic"`
+}
+
+// LatencySummary holds round-trip percentiles in milliseconds.
+type LatencySummary struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// MixCell is one request template of the mix and its aggregate outcome.
+type MixCell struct {
+	Name           string `json:"name"`
+	Requests       int    `json:"requests"`
+	OK             int    `json:"ok"`
+	DistinctHashes int    `json:"distinct_hashes"`
+	// ResidualHash is the (unique) hash when the cell is deterministic.
+	ResidualHash string `json:"residual_hash,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "resload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// cell is one template of the request mix.
+type cell struct {
+	name string
+	req  server.SolveRequest
+}
+
+// outcome is one request's result.
+type outcome struct {
+	cell      int
+	status    int
+	hash      string
+	cacheHit  bool
+	solveErr  bool
+	transport bool
+	latency   time.Duration
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("resload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", "http://127.0.0.1:8723", "base URL of the resilientd service")
+		n         = fs.Int("n", 48, "total requests to issue")
+		c         = fs.Int("c", 8, "concurrent client workers")
+		matrices  = fs.String("matrices", "poisson2d:225,tridiag:400", "comma-separated gen:n matrix specs")
+		solvers   = fs.String("solvers", "cg,pcg,bicgstab", "comma-separated solvers")
+		schemes   = fs.String("schemes", "abft-correction,unprotected", "comma-separated protection schemes")
+		alpha     = fs.Float64("alpha", 0, "expected silent errors per iteration (protected cells only)")
+		seed      = fs.Int64("seed", 7, "request seed (shared by all cells)")
+		timeoutMS = fs.Int("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
+		jsonOut   = fs.Bool("json", false, "emit the JSON record on stdout instead of the text summary")
+		outPath   = fs.String("out", "", "also write the JSON record to this file")
+		check     = fs.Bool("check", false, "exit nonzero unless every request succeeded and every cell hashed identically")
+		quiet     = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 || *c < 1 {
+		return fmt.Errorf("need -n ≥ 1 and -c ≥ 1")
+	}
+
+	mix, err := buildMix(*matrices, *solvers, *schemes, *alpha, *seed, *timeoutMS)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "resload: %d requests over %d cells, %d workers, target %s\n",
+			*n, len(mix), *c, *addr)
+	}
+
+	outcomes, wall := fire(*addr, mix, *n, *c, *timeoutMS)
+	rec := aggregate(*addr, *c, mix, outcomes, wall)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	} else if err := writeSummary(stdout, rec); err != nil {
+		return err
+	}
+
+	if *check {
+		switch {
+		case rec.OK != rec.Requests:
+			return fmt.Errorf("check failed: %d of %d requests did not succeed (rejected=%d expired=%d transport=%d solve=%d other=%d)",
+				rec.Requests-rec.OK, rec.Requests, rec.Rejected, rec.Expired, rec.TransportErrors, rec.SolveErrors, rec.OtherErrors)
+		case !rec.Deterministic:
+			return fmt.Errorf("check failed: repeated identical requests returned differing residual hashes")
+		case rec.Throughput <= 0:
+			return fmt.Errorf("check failed: zero throughput")
+		}
+	}
+	return nil
+}
+
+// buildMix crosses matrices × solvers × schemes, dropping combinations
+// the harness rejects (e.g. BiCGstab × online-detection, fault-injected
+// unprotected), so the mix is always runnable.
+func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, timeoutMS int) ([]cell, error) {
+	var specs []harness.MatrixSpec
+	for _, tok := range strings.Split(matrices, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		gen, nStr, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("matrix %q: want gen:n", tok)
+		}
+		dim, err := strconv.Atoi(nStr)
+		if err != nil || dim < 1 {
+			return nil, fmt.Errorf("matrix %q: bad dimension", tok)
+		}
+		spec, err := harness.NewMatrixSpec(gen, dim, 0)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	var mix []cell
+	for _, spec := range specs {
+		for _, sv := range splitList(solvers) {
+			for _, sch := range splitList(schemes) {
+				spec := spec
+				req := server.SolveRequest{
+					Matrix: &spec, Solver: sv, Scheme: sch, Seed: seed,
+					TimeoutMillis: timeoutMS,
+				}
+				if sch != "unprotected" {
+					req.Alpha = alpha
+				}
+				req.WithDefaults()
+				name := sv + "/" + sch + "/" + spec.String()
+				if err := req.Validate(); err != nil {
+					continue // unsupported axis combination
+				}
+				mix = append(mix, cell{name: name, req: req})
+			}
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty request mix (every combination invalid?)")
+	}
+	return mix, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// fire issues n requests round-robin over the mix from c workers and
+// returns one outcome per request plus the measured wall time. The
+// client carries a hard timeout above any server-side deadline, so a
+// wedged server surfaces as transport errors instead of hanging the run
+// (and the CI gate) forever.
+func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duration) {
+	clientTimeout := 2 * time.Minute
+	if timeoutMS > 0 {
+		clientTimeout = time.Duration(timeoutMS)*time.Millisecond + 30*time.Second
+	}
+	outcomes := make([]outcome, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: clientTimeout}
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				outcomes[j] = post(client, addr, j%len(mix), &mix[j%len(mix)].req)
+			}
+		}()
+	}
+	for j := 0; j < n; j++ {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	return outcomes, time.Since(start)
+}
+
+func post(client *http.Client, addr string, cellIdx int, req *server.SolveRequest) outcome {
+	out := outcome{cell: cellIdx}
+	body, err := json.Marshal(req)
+	if err != nil {
+		out.transport = true
+		return out
+	}
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	out.latency = time.Since(start)
+	if err != nil {
+		out.transport = true
+		return out
+	}
+	defer resp.Body.Close()
+	out.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return out
+	}
+	var sr server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		out.transport = true
+		return out
+	}
+	out.latency = time.Since(start)
+	out.hash = sr.Result.ResidualHash
+	out.cacheHit = sr.CacheHit
+	out.solveErr = sr.SolveError != ""
+	return out
+}
+
+func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Duration) Record {
+	rec := Record{
+		Schema: Schema, Addr: addr,
+		Requests: len(outcomes), Concurrency: c,
+		Deterministic: true,
+	}
+	latencies := make([]float64, 0, len(outcomes))
+	hashes := make([]map[string]int, len(mix))
+	cells := make([]MixCell, len(mix))
+	for i, m := range mix {
+		cells[i].Name = m.name
+		hashes[i] = make(map[string]int)
+	}
+	for _, o := range outcomes {
+		cells[o.cell].Requests++
+		latencies = append(latencies, float64(o.latency)/1e6)
+		switch {
+		case o.transport:
+			rec.TransportErrors++
+		case o.status == http.StatusTooManyRequests:
+			rec.Rejected++
+		case o.status == http.StatusGatewayTimeout:
+			rec.Expired++
+		case o.status != http.StatusOK:
+			rec.OtherErrors++
+		case o.solveErr:
+			rec.SolveErrors++
+		default:
+			rec.OK++
+			cells[o.cell].OK++
+			hashes[o.cell][o.hash]++
+			if o.cacheHit {
+				rec.CacheHits++
+			}
+		}
+	}
+	for i := range cells {
+		cells[i].DistinctHashes = len(hashes[i])
+		if len(hashes[i]) == 1 {
+			for h := range hashes[i] {
+				cells[i].ResidualHash = h
+			}
+		}
+		if len(hashes[i]) > 1 {
+			rec.Deterministic = false
+		}
+	}
+	rec.Mix = cells
+	rec.WallSeconds = wall.Seconds()
+	if rec.WallSeconds > 0 {
+		rec.Throughput = float64(rec.OK) / rec.WallSeconds
+	}
+	rec.Latency = summarize(latencies)
+	return rec
+}
+
+func summarize(ms []float64) LatencySummary {
+	if len(ms) == 0 {
+		return LatencySummary{}
+	}
+	sort.Float64s(ms)
+	var sum float64
+	for _, v := range ms {
+		sum += v
+	}
+	pct := func(q float64) float64 {
+		idx := int(q*float64(len(ms))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ms) {
+			idx = len(ms) - 1
+		}
+		return ms[idx]
+	}
+	return LatencySummary{
+		MeanMs: sum / float64(len(ms)),
+		P50Ms:  pct(0.50),
+		P90Ms:  pct(0.90),
+		P99Ms:  pct(0.99),
+		MaxMs:  ms[len(ms)-1],
+	}
+}
+
+func writeSummary(w io.Writer, rec Record) error {
+	if _, err := fmt.Fprintf(w,
+		"requests=%d ok=%d rejected=%d expired=%d errors=%d cache_hits=%d\nthroughput=%.1f req/s  latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		rec.Requests, rec.OK, rec.Rejected, rec.Expired,
+		rec.SolveErrors+rec.TransportErrors+rec.OtherErrors, rec.CacheHits,
+		rec.Throughput, rec.Latency.P50Ms, rec.Latency.P90Ms, rec.Latency.P99Ms, rec.Latency.MaxMs); err != nil {
+		return err
+	}
+	for _, cell := range rec.Mix {
+		mark := "ok"
+		if cell.DistinctHashes > 1 {
+			mark = "NONDETERMINISTIC"
+		}
+		if _, err := fmt.Fprintf(w, "%-45s n=%-3d ok=%-3d hashes=%d %s %s\n",
+			cell.Name, cell.Requests, cell.OK, cell.DistinctHashes, cell.ResidualHash, mark); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "deterministic=%v\n", rec.Deterministic)
+	return err
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func loadTarget(t *testing.T) string {
+	t.Helper()
+	s := server.New(server.Config{Workers: 1, Concurrency: 2, QueueDepth: 64})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown()
+	})
+	return ts.URL
+}
+
+func TestRunAgainstLiveServer(t *testing.T) {
+	url := loadTarget(t)
+	var stdout bytes.Buffer
+	args := []string{
+		"-addr", url, "-n", "18", "-c", "4",
+		"-matrices", "poisson2d:100,tridiag:120",
+		"-solvers", "cg,pcg,bicgstab",
+		"-schemes", "abft-correction,unprotected",
+		"-json", "-check", "-q",
+	}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("resload: %v", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(stdout.Bytes(), &rec); err != nil {
+		t.Fatalf("decoding record: %v\n%s", err, stdout.String())
+	}
+	if rec.Schema != Schema {
+		t.Errorf("schema %d, want %d", rec.Schema, Schema)
+	}
+	if rec.OK != 18 || rec.Requests != 18 {
+		t.Errorf("ok=%d requests=%d, want 18/18 (record: %+v)", rec.OK, rec.Requests, rec)
+	}
+	if !rec.Deterministic {
+		t.Error("mix reported nondeterministic hashes")
+	}
+	if rec.Throughput <= 0 {
+		t.Errorf("throughput %g, want > 0", rec.Throughput)
+	}
+	if rec.Latency.P99Ms < rec.Latency.P50Ms {
+		t.Errorf("latency summary inconsistent: %+v", rec.Latency)
+	}
+	// 12 cells, 18 requests round-robin: the first six cells fire twice.
+	// Every cell that fired at least once must have exactly one hash.
+	if len(rec.Mix) != 12 {
+		t.Fatalf("mix has %d cells, want 12", len(rec.Mix))
+	}
+	for _, cell := range rec.Mix {
+		if cell.OK > 0 && cell.DistinctHashes != 1 {
+			t.Errorf("cell %s: %d distinct hashes", cell.Name, cell.DistinctHashes)
+		}
+	}
+}
+
+func TestRunTextSummary(t *testing.T) {
+	url := loadTarget(t)
+	var stdout bytes.Buffer
+	args := []string{
+		"-addr", url, "-n", "4", "-c", "2",
+		"-matrices", "poisson2d:64", "-solvers", "cg", "-schemes", "abft-correction",
+		"-q",
+	}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"requests=4", "deterministic=true", "cg/abft-correction/poisson2d:64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCheckFailsOnDeadServer(t *testing.T) {
+	args := []string{"-addr", "http://127.0.0.1:1", "-n", "2", "-c", "1", "-check", "-q"}
+	if err := run(args, io.Discard, io.Discard); err == nil {
+		t.Fatal("expected -check to fail against a dead server")
+	}
+}
+
+func TestBuildMixSkipsInvalidCombos(t *testing.T) {
+	mix, err := buildMix("poisson2d:64", "cg,bicgstab", "online-detection,abft-correction", 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bicgstab × online-detection is unsupported and must be dropped.
+	if len(mix) != 3 {
+		names := make([]string, len(mix))
+		for i, m := range mix {
+			names[i] = m.name
+		}
+		t.Fatalf("mix has %d cells %v, want 3", len(mix), names)
+	}
+	for _, m := range mix {
+		if strings.Contains(m.name, "bicgstab/online-detection") {
+			t.Errorf("invalid cell survived: %s", m.name)
+		}
+	}
+}
+
+func TestBuildMixRejectsBadMatrices(t *testing.T) {
+	for _, bad := range []string{"poisson2d", "poisson2d:x", "warp:64", ""} {
+		if _, err := buildMix(bad, "cg", "unprotected", 0, 1, 0); err == nil {
+			t.Errorf("buildMix(%q) accepted", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/abft"
+	"repro/internal/checkpoint"
 	"repro/internal/fault"
 	"repro/internal/pool"
 	"repro/internal/sparse"
@@ -43,6 +44,67 @@ type BiCGstabConfig struct {
 	Ws *Workspace
 }
 
+// bicgRun keeps the mutable loop state of one resilient BiCGstab solve in
+// the workspace, so the checkpoint/rollback helpers are methods instead of
+// capturing closures — a workspace-carrying warm solve allocates nothing.
+type bicgRun struct {
+	view             *checkpoint.State
+	store, initStore *checkpoint.Store
+	costs            Costs
+	stats            Stats
+	exec             tmr.Executor // kept across solves: resident TMR replica scratch
+	prot             *abft.Protected
+	rGuard           *abft.VectorGuard
+	pGuard           *abft.VectorGuard
+	sGuard           *abft.VectorGuard
+	xGuard           *abft.VectorGuard
+	r, p, x          []float64
+	it               int
+	rho, alpha       float64
+	omega            float64
+	last, stuck      int
+	highWater        int
+}
+
+// save checkpoints the live state (optionally charging checkpoint time).
+func (run *bicgRun) save(charge bool) {
+	run.view.Iteration = run.it
+	run.view.Scalars["rho"] = run.rho
+	run.view.Scalars["alpha"] = run.alpha
+	run.view.Scalars["omega"] = run.omega
+	run.store.Save(run.view)
+	run.last = run.it
+	if charge {
+		run.stats.Checkpoints++
+		run.stats.TimeCkpt += run.costs.Tcp
+	}
+}
+
+// rollback restores the last checkpoint (or the initial state after too
+// many consecutive failed recoveries) and re-arms the guards and checksum
+// encodings over the restored data.
+func (run *bicgRun) rollback() {
+	use := run.store
+	run.stuck++
+	if run.stuck > stuckLimit {
+		use = run.initStore
+		run.stuck = 0
+		run.highWater = 0
+		run.last = 0
+	}
+	use.Restore(run.view)
+	run.it = run.view.Iteration
+	run.rho = run.view.Scalars["rho"]
+	run.alpha = run.view.Scalars["alpha"]
+	run.omega = run.view.Scalars["omega"]
+	run.stats.Rollbacks++
+	run.stats.TimeRecovery += run.costs.Trec
+	run.rGuard.Refresh(run.r)
+	run.pGuard.Refresh(run.p)
+	run.xGuard.Refresh(run.x)
+	run.prot.Reencode()
+}
+
 // SolveBiCGstab runs the resilient BiCGstab on Ax = b for general
 // (possibly nonsymmetric) A.
 func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, Stats, error) {
@@ -73,7 +135,6 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		_, s = OptimalIntervals(a, base.Scheme, alpha, base.Costs)
 	}
 
-	st := Stats{Scheme: base.Scheme, D: 1, S: s}
 	mode := abftMode(base.Scheme)
 
 	r := ws.takeCopy(b) // x0 = 0
@@ -85,73 +146,45 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 	x := ws.takeZero(n)
 	rr := ws.take(n)
 
-	prot := ws.protected(live, mode)
-	rGuard := ws.guard(0, r, mode)
-	pGuard := ws.guard(1, p, mode)
-	sGuard := ws.guard(2, sv, mode)
-	xGuard := ws.guard(3, x, mode)
+	run := &ws.br
+	exec := run.exec // preserve the TMR executor's resident replica scratch
+	*run = bicgRun{
+		costs:  costs,
+		stats:  Stats{Scheme: base.Scheme, D: 1, S: s},
+		prot:   ws.protected(live, mode),
+		rGuard: ws.guard(0, r, mode),
+		pGuard: ws.guard(1, p, mode),
+		sGuard: ws.guard(2, sv, mode),
+		xGuard: ws.guard(3, x, mode),
+		r:      r, p: p, x: x,
+		rho: 1, alpha: 1, omega: 1,
+	}
+	run.exec = exec
+	run.exec.Pool = cfg.Pool
+	st := &run.stats
+	prot := run.prot
+	rGuard, pGuard, sGuard, xGuard := run.rGuard, run.pGuard, run.sGuard, run.xGuard
 	st.SimTime += SetupCost(live, base.Scheme, base.Costs)
 
 	ws.state = fault.State{A: live, R: r, P: p, Q: v, X: x}
 	state := &ws.state
-	store, initStore := ws.stores()
-	view := ws.liveView(live, nil)
-	view.Vectors["x"] = x
-	view.Vectors["r"] = r
-	view.Vectors["rHat"] = rHat
-	view.Vectors["p"] = p
-	view.Vectors["v"] = v
+	run.store, run.initStore = ws.stores()
+	run.view = ws.liveView(live, nil)
+	run.view.Vectors["x"] = x
+	run.view.Vectors["r"] = r
+	run.view.Vectors["rHat"] = rHat
+	run.view.Vectors["p"] = p
+	run.view.Vectors["v"] = v
 
 	normB := vec.Norm2(b)
 	if normB == 0 {
 		normB = 1
 	}
-	rho, alphaS, omega := 1.0, 1.0, 1.0
-	it := 0
-	highWater, stuck := 0, 0
-	last := 0
-	var exec tmr.Executor
-	exec.Pool = cfg.Pool
-
-	save := func(charge bool) {
-		view.Iteration = it
-		view.Scalars["rho"] = rho
-		view.Scalars["alpha"] = alphaS
-		view.Scalars["omega"] = omega
-		store.Save(view)
-		last = it
-		if charge {
-			st.Checkpoints++
-			st.TimeCkpt += costs.Tcp
-		}
-	}
-	rollback := func() {
-		use := store
-		stuck++
-		if stuck > stuckLimit {
-			use = initStore
-			stuck = 0
-			highWater = 0
-			last = 0
-		}
-		use.Restore(view)
-		it = view.Iteration
-		rho = view.Scalars["rho"]
-		alphaS = view.Scalars["alpha"]
-		omega = view.Scalars["omega"]
-		st.Rollbacks++
-		st.TimeRecovery += costs.Trec
-		rGuard.Refresh(r)
-		pGuard.Refresh(p)
-		xGuard.Refresh(x)
-		prot.Reencode()
-	}
-	save(false)
-	initStore.Save(view)
+	run.save(false)
+	run.initStore.Save(run.view)
 
 	maxTotal := int64(base.MaxIters)*10 + 1000
 	finalRetries := 0
-	fail := func() { rollback() }
 
 	for {
 		if vec.Norm2(r) <= base.Tol*normB {
@@ -161,23 +194,23 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			confirmTol := math.Max(10*base.Tol, 1e-6) * normB
 			if tr := vec.Norm2(tv); tr <= confirmTol && !math.IsNaN(tr) {
 				st.Converged = true
-				st.UsefulIterations = it
+				st.UsefulIterations = run.it
 				break
 			}
 			finalRetries++
 			if finalRetries >= maxFinalCheckRetries {
-				st.UsefulIterations = it
-				return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector,
+				st.UsefulIterations = run.it
+				return finish(cfg.Pool, a, b, x, rr, normB, st, cfg.Injector,
 					fmt.Errorf("core: BiCGstab %v: convergence confirmation kept failing", base.Scheme))
 			}
-			fail()
+			run.rollback()
 			continue
 		}
-		if it >= base.MaxIters || st.TotalIterations >= maxTotal {
-			st.UsefulIterations = it
-			return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector,
+		if run.it >= base.MaxIters || st.TotalIterations >= maxTotal {
+			st.UsefulIterations = run.it
+			return finish(cfg.Pool, a, b, x, rr, normB, st, cfg.Injector,
 				fmt.Errorf("core: BiCGstab %v: not converged after %d useful (%d total) iterations",
-					base.Scheme, it, st.TotalIterations))
+					base.Scheme, run.it, st.TotalIterations))
 		}
 
 		st.TotalIterations++
@@ -203,25 +236,25 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			}
 		}
 		if bad {
-			fail()
+			run.rollback()
 			continue
 		}
 
-		rhoNew := exec.Dot(rHat, r)
+		rhoNew := run.exec.Dot(rHat, r)
 		if rhoNew == 0 || math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
 			st.Detections++
-			fail()
+			run.rollback()
 			continue
 		}
-		if it == 0 {
+		if run.it == 0 {
 			copy(p, r)
 		} else {
-			beta := (rhoNew / rho) * (alphaS / omega)
+			beta := (rhoNew / run.rho) * (run.alpha / run.omega)
 			for i := range p {
-				p[i] = r[i] + beta*(p[i]-omega*v[i])
+				p[i] = r[i] + beta*(p[i]-run.omega*v[i])
 			}
 		}
-		rho = rhoNew
+		run.rho = rhoNew
 		pGuard.Refresh(p)
 
 		// First protected product: v = A·p.
@@ -235,7 +268,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		if outV.Detected {
 			st.Detections++
 			if !outV.Corrected {
-				fail()
+				run.rollback()
 				continue
 			}
 			st.Corrections++
@@ -245,25 +278,25 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			}
 		}
 
-		den := exec.Dot(rHat, v)
+		den := run.exec.Dot(rHat, v)
 		if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
 			st.Detections++
-			fail()
+			run.rollback()
 			continue
 		}
-		alphaS = rho / den
-		exec.AxpyTo(sv, -alphaS, v, r)
+		run.alpha = run.rho / den
+		run.exec.AxpyTo(sv, -run.alpha, v, r)
 		sGuard.Refresh(sv)
 
 		// Early half-step convergence.
 		if vec.Norm2(sv) <= base.Tol*normB {
-			exec.Axpy(alphaS, p, x)
+			run.exec.Axpy(run.alpha, p, x)
 			xGuard.Refresh(x)
 			copy(r, sv)
 			rGuard.Refresh(r)
-			it++
+			run.it++
 			if cfg.OnIteration != nil {
-				cfg.OnIteration(it, rho)
+				cfg.OnIteration(run.it, run.rho)
 			}
 			continue // the top-of-loop confirmation validates it
 		}
@@ -274,7 +307,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		if outT.Detected {
 			st.Detections++
 			if !outT.Corrected {
-				fail()
+				run.rollback()
 				continue
 			}
 			st.Corrections++
@@ -284,38 +317,38 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			}
 		}
 
-		tt := exec.Norm2Sq(tv)
+		tt := run.exec.Norm2Sq(tv)
 		if tt == 0 || math.IsNaN(tt) || math.IsInf(tt, 0) {
 			st.Detections++
-			fail()
+			run.rollback()
 			continue
 		}
-		omega = exec.Dot(tv, sv) / tt
-		if omega == 0 || math.IsNaN(omega) || math.IsInf(omega, 0) {
+		run.omega = run.exec.Dot(tv, sv) / tt
+		if run.omega == 0 || math.IsNaN(run.omega) || math.IsInf(run.omega, 0) {
 			st.Detections++
-			fail()
+			run.rollback()
 			continue
 		}
 
-		exec.Axpy(alphaS, p, x)
-		exec.Axpy(omega, sv, x)
+		run.exec.Axpy(run.alpha, p, x)
+		run.exec.Axpy(run.omega, sv, x)
 		xGuard.Refresh(x)
-		exec.AxpyTo(r, -omega, tv, sv)
+		run.exec.AxpyTo(r, -run.omega, tv, sv)
 		rGuard.Refresh(r)
 
-		it++
+		run.it++
 		if cfg.OnIteration != nil {
-			cfg.OnIteration(it, rho)
+			cfg.OnIteration(run.it, run.rho)
 		}
-		if it > highWater {
-			highWater = it
-			stuck = 0
+		if run.it > run.highWater {
+			run.highWater = run.it
+			run.stuck = 0
 		}
-		if it%s == 0 && it > last {
-			save(true)
+		if run.it%s == 0 && run.it > run.last {
+			run.save(true)
 		}
 	}
-	return finish(cfg.Pool, a, b, x, rr, normB, &st, cfg.Injector, nil)
+	return finish(cfg.Pool, a, b, x, rr, normB, st, cfg.Injector, nil)
 }
 
 // finish computes the final statistics common to the drivers. rr is

@@ -27,11 +27,25 @@ type Workspace struct {
 	view        checkpoint.State
 	rs          runState
 	pr          pcgRun
+	br          bicgRun
 }
 
 // NewWorkspace returns an empty workspace; storage is created on first use
 // and recycled afterwards.
 func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Prewarm builds the workspace's working matrix copy and — for the ABFT
+// schemes — its Rowidx/column checksum encodings for a ahead of the first
+// solve, so a cache that hands out warm workspaces pays the construction
+// cost at cache-fill time instead of on the request path. A later solve
+// carrying this workspace against a same-shaped matrix reuses the storage
+// built here. Prewarming is optional and never changes results.
+func (w *Workspace) Prewarm(a *sparse.CSR, scheme Scheme) {
+	live := w.liveCopy(a)
+	if scheme != OnlineDetection {
+		w.protected(live, abftMode(scheme))
+	}
+}
 
 // begin resets the take cursor for a new solve; a nil receiver yields a
 // fresh single-use workspace so drivers can call it unconditionally.

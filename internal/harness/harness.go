@@ -187,25 +187,48 @@ var wsPool = sync.Pool{New: func() any {
 // to fingerprint trajectories). pl, when non-nil, runs the solver kernels
 // on the worker pool; the arithmetic is identical either way.
 func SolveOne(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario, seed int64, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
-	return solveOneWs(pl, nil, a, b, sc, seed, onIter)
+	return SolveWith(a, b, sc, seed, SolveOpts{Pool: pl, OnIteration: onIter})
 }
 
-// solveOneWs is SolveOne drawing solver state from ws (nil allocates
-// fresh). The returned solution aliases workspace memory when ws is
-// non-nil. The arithmetic is identical either way.
-func solveOneWs(pl *pool.Pool, ws *Workspaces, a *sparse.CSR, b []float64, sc Scenario, seed int64, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+// SolveOpts bundles the cache-aware execution hooks of SolveWith. Every
+// field is optional; the zero value reproduces SolveOne.
+type SolveOpts struct {
+	// Pool, when non-nil, runs the solver kernels on the worker pool; the
+	// arithmetic is identical either way.
+	Pool *pool.Pool
+	// Ws supplies reusable solver arenas: a warm workspace pair makes the
+	// solve allocation-free, and the returned solution aliases workspace
+	// memory. Must not be shared by concurrent solves.
+	Ws *Workspaces
+	// M is a prebuilt PCG preconditioner (the matrix buildPrecond would
+	// derive from sc.Precond). Callers that serve many solves on one
+	// matrix cache it so the request path skips reconstruction; nil builds
+	// it per call. Ignored for non-PCG solvers.
+	M *sparse.CSR
+	// OnIteration, when non-nil, receives the per-iteration recurrence
+	// scalar (used to fingerprint trajectories).
+	OnIteration func(it int, rho float64)
+}
+
+// SolveWith is the single-trial solve primitive behind SolveOne and the
+// campaign drivers, with every reusable artifact injectable: long-running
+// callers (the solve service) hand in cached workspaces and
+// preconditioners so a warm solve of a known matrix never reconstructs
+// per-matrix state. Results are bitwise identical for any combination of
+// hooks.
+func SolveWith(a *sparse.CSR, b []float64, sc Scenario, seed int64, opt SolveOpts) ([]float64, core.Stats, error) {
 	sc = sc.withDefaults()
 	if err := sc.Validate(); err != nil {
 		return nil, core.Stats{}, err
 	}
 	var coreWs *core.Workspace
 	var solverWs *solver.Workspace
-	if ws != nil {
-		coreWs, solverWs = ws.Core, ws.Solver
+	if opt.Ws != nil {
+		coreWs, solverWs = opt.Ws.Core, opt.Ws.Solver
 	}
 	scheme, unprotected, _ := ParseScheme(sc.Scheme)
 	if unprotected {
-		return solveUnprotected(a, b, sc, solverWs, onIter)
+		return solveUnprotected(a, b, sc, opt.M, solverWs, opt.OnIteration)
 	}
 	var inj *fault.Injector
 	if sc.Alpha > 0 {
@@ -213,25 +236,28 @@ func solveOneWs(pl *pool.Pool, ws *Workspaces, a *sparse.CSR, b []float64, sc Sc
 	}
 	switch sc.Solver {
 	case "pcg":
-		m, err := buildPrecond(a, sc.Precond)
-		if err != nil {
-			return nil, core.Stats{}, err
+		m := opt.M
+		if m == nil {
+			var err error
+			if m, err = buildPrecond(a, sc.Precond); err != nil {
+				return nil, core.Stats{}, err
+			}
 		}
 		return core.SolvePCG(a, b, core.PCGConfig{
 			Scheme: scheme, M: m, S: sc.S, D: sc.D, Tol: sc.Tol,
-			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
 			Ws: coreWs,
 		})
 	case "bicgstab":
 		return core.SolveBiCGstab(a, b, core.BiCGstabConfig{
 			Scheme: scheme, S: sc.S, Tol: sc.Tol,
-			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
 			Ws: coreWs,
 		})
 	default: // cg
 		return core.Solve(a, b, core.Config{
 			Scheme: scheme, S: sc.S, D: sc.D, Tol: sc.Tol,
-			MaxIters: sc.MaxIters, Injector: inj, Pool: pl, OnIteration: onIter,
+			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
 			Ws: coreWs,
 		})
 	}
@@ -240,8 +266,10 @@ func solveOneWs(pl *pool.Pool, ws *Workspaces, a *sparse.CSR, b []float64, sc Sc
 // solveUnprotected runs the fault-free reference solver and shapes its
 // outcome as core.Stats: SimTime is iterations × the raw Titer of the cost
 // model, so overheads computed against it match the paper's normalisation.
-func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, ws *solver.Workspace, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
-	opt := solver.Options{Tol: sc.Tol, MaxIter: sc.MaxIters, RecordResiduals: onIter != nil, Ws: ws}
+// The residual history streams through the solver's OnIteration hook, so a
+// warm workspace-carrying solve allocates nothing even when fingerprinted.
+func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, m *sparse.CSR, ws *solver.Workspace, onIter func(it int, rho float64)) ([]float64, core.Stats, error) {
+	opt := solver.Options{Tol: sc.Tol, MaxIter: sc.MaxIters, OnIteration: onIter, Ws: ws}
 	if opt.Tol == 0 {
 		opt.Tol = 1e-8
 	}
@@ -252,21 +280,18 @@ func solveUnprotected(a *sparse.CSR, b []float64, sc Scenario, ws *solver.Worksp
 	var err error
 	switch sc.Solver {
 	case "pcg":
-		// Build the same explicit preconditioner the protected driver would
+		// Apply the same explicit preconditioner the protected driver would
 		// protect, so overheads compare like against like.
-		var m *sparse.CSR
-		if m, err = buildPrecond(a, sc.Precond); err == nil {
+		if m == nil {
+			m, err = buildPrecond(a, sc.Precond)
+		}
+		if err == nil {
 			res, err = solver.PCGWith(a, m, b, opt)
 		}
 	case "bicgstab":
 		res, err = solver.BiCGstab(a, b, opt)
 	default:
 		res, err = solver.CG(a, b, opt)
-	}
-	if onIter != nil {
-		for i, r := range res.Residuals {
-			onIter(i+1, r)
-		}
 	}
 	st := core.Stats{
 		UsefulIterations: res.Iterations,
@@ -335,7 +360,8 @@ func runTrials(pl *pool.Pool, a *sparse.CSR, b []float64, sc Scenario) (outs []t
 			onIter = func(_ int, rho float64) { hist = append(hist, rho) }
 		}
 		ws := wsPool.Get().(*Workspaces)
-		_, st, err := solveOneWs(kernelPool(pl, sc.Reps), ws, a, b, sc, sc.Seed+int64(rep)*trialSeedStride, onIter)
+		_, st, err := SolveWith(a, b, sc, sc.Seed+int64(rep)*trialSeedStride,
+			SolveOpts{Pool: kernelPool(pl, sc.Reps), Ws: ws, OnIteration: onIter})
 		wsPool.Put(ws)
 		outs[rep] = trialOutcome{st: st, failed: err != nil}
 	}

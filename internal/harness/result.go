@@ -1,10 +1,8 @@
 package harness
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"math"
 	"sort"
@@ -142,15 +140,25 @@ func newResult(sc Scenario, a *sparse.CSR, outs []trialOutcome, hist []float64) 
 // HashHistory fingerprints a per-iteration scalar history with FNV-1a over
 // the IEEE-754 bit patterns, prefixed by the length.
 func HashHistory(hist []float64) string {
-	h := fnv.New64a()
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(len(hist)))
-	h.Write(buf[:])
+	return FormatHash(HashBits(hist))
+}
+
+// HashBits is the allocation-free core of HashHistory: it returns the raw
+// 64-bit FNV-1a state instead of the formatted string, so a request hot
+// path can fingerprint a trajectory without touching the heap and defer
+// the formatting (FormatHash) to response encoding.
+func HashBits(hist []float64) uint64 {
+	h := uint64(sparse.FNV1aOffset64)
+	h = sparse.FNVMix64(h, uint64(len(hist)))
 	for _, v := range hist {
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-		h.Write(buf[:])
+		h = sparse.FNVMix64(h, math.Float64bits(v))
 	}
-	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+	return h
+}
+
+// FormatHash renders HashBits in the canonical record form.
+func FormatHash(bits uint64) string {
+	return fmt.Sprintf("fnv1a:%016x", bits)
 }
 
 // Canonical returns the record with its non-deterministic fields zeroed:

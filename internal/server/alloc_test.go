@@ -1,0 +1,61 @@
+// The race runtime randomly drops sync.Pool puts (by design, to shake out
+// pool-dependence bugs), so warm solve contexts are rebuilt at random and
+// allocation counts are meaningless under -race. The determinism half of
+// this gate (determinism_test.go) runs everywhere; the allocation half is
+// race-build-excluded.
+//go:build !race
+
+package server
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// This file is the allocation gate of the request hot path — the
+// acceptance criterion of the solve service: once a matrix's artifacts
+// are cached and a first request has warmed a solve context, a fault-free
+// solve of the same matrix must perform zero heap allocations between
+// request dispatch and outcome (Server.solve). JSON transport framing is
+// deliberately outside the gate; the solve itself — workspace reuse,
+// cached RHS/preconditioner/intervals, residual-history fingerprint —
+// must not touch the heap.
+
+func TestZeroAllocWarmSolvePath(t *testing.T) {
+	s := New(Config{Workers: 1, Concurrency: 1, QueueDepth: 4})
+	defer s.Shutdown()
+
+	cases := []struct{ solver, scheme string }{
+		{"cg", "abft-correction"},
+		{"cg", "abft-detection"},
+		{"cg", "online-detection"},
+		{"cg", "unprotected"},
+		{"pcg", "abft-correction"},
+		{"pcg", "online-detection"},
+		{"pcg", "unprotected"},
+		{"bicgstab", "abft-correction"},
+		{"bicgstab", "abft-detection"},
+		{"bicgstab", "unprotected"},
+	}
+	for _, tc := range cases {
+		name := tc.solver + "/" + tc.scheme
+		spec, err := harness.NewMatrixSpec("poisson2d", 576, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := &SolveRequest{Matrix: &spec, Solver: tc.solver, Scheme: tc.scheme, Seed: 3}
+		ent, sc := warmEntry(t, s, req)
+
+		solve := func() {
+			if out := s.solve(ent, sc, req.rhsSeed()); out.err != nil {
+				t.Fatalf("%s: %v", name, out.err)
+			}
+		}
+		solve()
+		solve() // warm: workspaces, RHS, preconditioner, intervals, history capacity
+		if allocs := testing.AllocsPerRun(10, solve); allocs != 0 {
+			t.Errorf("%s: %v allocs per warm solve, want 0", name, allocs)
+		}
+	}
+}

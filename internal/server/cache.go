@@ -1,0 +1,222 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/precond"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// maxRHSPerEntry and maxIntervalsPerEntry bound the seed- and
+// alpha-keyed artifact maps cached per matrix; past the bound the
+// cheapest correct policy is to drop them all (they rebuild
+// deterministically). Both keys are client-supplied, so unbounded maps
+// would let a parameter sweep grow a resident entry forever.
+const (
+	maxRHSPerEntry       = 16
+	maxIntervalsPerEntry = 32
+)
+
+// cache is the per-matrix artifact cache: an LRU of entries keyed by the
+// canonical matrix identity (the spec's JSON for named matrices, the
+// content fingerprint for inline ones). Eviction only drops references —
+// requests holding an evicted entry finish on it undisturbed.
+type cache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	ll        *list.List // of *entry; front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newCache(capacity int) *cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		ll:       list.New(),
+	}
+}
+
+// get returns the entry for key, creating an unmaterialised skeleton on a
+// miss and evicting least-recently-used entries beyond capacity. The
+// second result reports whether the entry already existed.
+func (c *cache) get(key, label string, spec harness.MatrixSpec) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry), true
+	}
+	c.misses++
+	e := &entry{key: key, label: label, spec: spec}
+	c.entries[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.capacity {
+		back := c.ll.Back()
+		evicted := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, evicted.key)
+		c.evictions++
+	}
+	return e, false
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// entry holds every reusable artifact of one matrix. It is created as a
+// skeleton by cache.get and materialised exactly once (concurrent first
+// requests block on the build instead of duplicating it); the
+// seed-dependent artifacts fill in lazily under mu.
+type entry struct {
+	key   string
+	label string
+	spec  harness.MatrixSpec
+
+	once sync.Once
+	err  error
+	a    *sparse.CSR
+
+	mu        sync.Mutex
+	rhs       map[int64][]float64
+	preconds  map[string]*sparse.CSR
+	intervals map[intervalKey][2]int
+
+	// ctxs pools warm per-request solve contexts; see solveCtx.
+	ctxs sync.Pool
+}
+
+// intervalKey identifies one cached model-optimal (d, s) pair.
+type intervalKey struct {
+	scheme core.Scheme
+	alpha  float64
+}
+
+// materialise builds the matrix and its shareable artifacts exactly once:
+// the CSR itself, the NNZ-balanced partition plan for the server's kernel
+// worker count, and a warm-workspace factory whose checksum encodings are
+// prewarmed for the default scheme. Safe for concurrent callers; the
+// first error is sticky.
+func (e *entry) materialise(workers int, build func() (*sparse.CSR, error)) error {
+	e.once.Do(func() {
+		a, err := build()
+		if err != nil {
+			e.err = fmt.Errorf("matrix %s: %w", e.label, err)
+			return
+		}
+		e.a = a
+		if workers > 1 {
+			a.PlanFor(workers) // precompute the partition plan the parallel kernels will ask for
+		}
+		e.ctxs.New = func() any {
+			c := newSolveCtx()
+			c.ws.Core.Prewarm(a, core.ABFTCorrection)
+			return c
+		}
+	})
+	return e.err
+}
+
+// rhsFor returns the cached manufactured right-hand side for the seed,
+// building and caching it on first use (the only allocating path; warm
+// requests take the map hit only).
+func (e *entry) rhsFor(seed int64) []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b, ok := e.rhs[seed]; ok {
+		return b
+	}
+	if e.rhs == nil {
+		e.rhs = make(map[int64][]float64, maxRHSPerEntry)
+	} else if len(e.rhs) >= maxRHSPerEntry {
+		clear(e.rhs)
+	}
+	b, _ := harness.RHS(e.a, seed)
+	e.rhs[seed] = b
+	return b
+}
+
+// precondFor returns the cached explicit preconditioner of the given kind,
+// building it on first use — the same construction the harness would
+// perform per solve, hoisted to once per matrix.
+func (e *entry) precondFor(kind string) (*sparse.CSR, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m, ok := e.preconds[kind]; ok {
+		return m, nil
+	}
+	var m *sparse.CSR
+	var err error
+	switch kind {
+	case "neumann":
+		m, err = precond.Neumann(e.a, precond.NeumannOptions{})
+	default:
+		m, err = precond.Jacobi(e.a)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.preconds == nil {
+		e.preconds = make(map[string]*sparse.CSR, 2)
+	}
+	e.preconds[kind] = m
+	return m, nil
+}
+
+// intervalsFor returns the cached model-optimal (d, s) for the scheme at
+// fault rate alpha — the exact values the drivers would recompute per
+// solve from the same inputs, hoisted to once per (matrix, scheme, alpha).
+func (e *entry) intervalsFor(scheme core.Scheme, alpha float64) (d, s int) {
+	k := intervalKey{scheme: scheme, alpha: alpha}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ds, ok := e.intervals[k]; ok {
+		return ds[0], ds[1]
+	}
+	d, s = core.OptimalIntervals(e.a, scheme, alpha, core.DefaultCostParams())
+	if e.intervals == nil {
+		e.intervals = make(map[intervalKey][2]int, 4)
+	} else if len(e.intervals) >= maxIntervalsPerEntry {
+		clear(e.intervals)
+	}
+	e.intervals[k] = [2]int{d, s}
+	return d, s
+}
+
+// solveCtx is the per-request execution context drawn from an entry's
+// pool: a warm workspace pair, the residual-history buffer and the
+// recording closure bound to it. Everything is built once, so a warm
+// request reuses it all and allocates nothing.
+type solveCtx struct {
+	ws     *harness.Workspaces
+	hist   []float64
+	record func(it int, rho float64)
+}
+
+func newSolveCtx() *solveCtx {
+	c := &solveCtx{ws: &harness.Workspaces{
+		Core:   core.NewWorkspace(),
+		Solver: solver.NewWorkspace(),
+	}}
+	c.record = func(_ int, rho float64) { c.hist = append(c.hist, rho) }
+	return c
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/sparse"
+)
+
+func specFor(t *testing.T, gen string, n int) harness.MatrixSpec {
+	t.Helper()
+	spec, err := harness.NewMatrixSpec(gen, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	var spec harness.MatrixSpec
+
+	if _, hit := c.get("k1", "k1", spec); hit {
+		t.Fatal("k1: hit on empty cache")
+	}
+	c.get("k2", "k2", spec)
+	if _, hit := c.get("k1", "k1", spec); !hit {
+		t.Fatal("k1: expected hit")
+	}
+	// k1 was just refreshed, so inserting k3 must evict k2 (the LRU)...
+	c.get("k3", "k3", spec)
+	if _, hit := c.get("k2", "k2", spec); hit {
+		t.Error("k2 survived eviction")
+	}
+	// ...and that miss re-inserted k2, evicting k1 in turn.
+	st := c.stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2 (capacity)", st.Entries)
+	}
+}
+
+func TestEntryMaterialiseOnce(t *testing.T) {
+	c := newCache(4)
+	ent, _ := c.get("k", "k", harness.MatrixSpec{})
+
+	var builds int
+	var mu sync.Mutex
+	build := func() (*sparse.CSR, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		return sparse.Poisson2D(8, 8), nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := ent.materialise(2, build); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("build ran %d times, want 1", builds)
+	}
+	if ent.a == nil || ent.a.Rows != 64 {
+		t.Errorf("entry matrix not materialised: %+v", ent.a)
+	}
+}
+
+func TestEntryMaterialiseErrorSticky(t *testing.T) {
+	c := newCache(4)
+	ent, _ := c.get("bad", "bad", harness.MatrixSpec{})
+	boom := errors.New("boom")
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failed build must not rerun; the error is the entry's state.
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(4, 4), nil }); !errors.Is(err, boom) {
+		t.Fatalf("second materialise: err = %v, want sticky boom", err)
+	}
+}
+
+func TestEntryRHSCaching(t *testing.T) {
+	c := newCache(4)
+	ent, _ := c.get("k", "k", harness.MatrixSpec{})
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(6, 6), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	b1 := ent.rhsFor(3)
+	b2 := ent.rhsFor(3)
+	if &b1[0] != &b2[0] {
+		t.Error("same seed returned a rebuilt RHS")
+	}
+	b4 := ent.rhsFor(4)
+	if &b1[0] == &b4[0] {
+		t.Error("different seeds share an RHS")
+	}
+
+	// Overflow the per-entry bound: the cache resets but stays correct —
+	// the rebuilt RHS is bitwise identical (deterministic in the seed).
+	for seed := int64(10); seed < int64(10+maxRHSPerEntry); seed++ {
+		ent.rhsFor(seed)
+	}
+	b1again := ent.rhsFor(3)
+	if &b1[0] == &b1again[0] {
+		t.Error("RHS cache did not reset after overflow")
+	}
+	for i := range b1 {
+		if b1[i] != b1again[i] {
+			t.Fatalf("rebuilt RHS differs at %d: %g != %g", i, b1again[i], b1[i])
+		}
+	}
+}
+
+func TestEntryPrecondAndIntervalCaching(t *testing.T) {
+	c := newCache(4)
+	ent, _ := c.get("k", "k", harness.MatrixSpec{})
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(8, 8), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := ent.precondFor("jacobi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := ent.precondFor("jacobi")
+	if m1 != m2 {
+		t.Error("jacobi preconditioner rebuilt instead of cached")
+	}
+	if mn, err := ent.precondFor("neumann"); err != nil || mn == m1 {
+		t.Errorf("neumann preconditioner: m=%p err=%v", mn, err)
+	}
+
+	wantD, wantS := core.OptimalIntervals(ent.a, core.ABFTCorrection, 0.01, core.DefaultCostParams())
+	for i := 0; i < 2; i++ {
+		if d, s := ent.intervalsFor(core.ABFTCorrection, 0.01); d != wantD || s != wantS {
+			t.Errorf("intervalsFor = (%d, %d), want (%d, %d)", d, s, wantD, wantS)
+		}
+	}
+}
+
+// TestInlineFingerprintKeying pins the content-addressed identity of
+// inline matrices: equal content maps to the same cache key, any value
+// perturbation to a different one.
+func TestInlineFingerprintKeying(t *testing.T) {
+	inline := func() *InlineCSR {
+		return &InlineCSR{
+			Rows: 2, Cols: 2,
+			Rowidx: []int{0, 2, 3},
+			Colid:  []int{0, 1, 1},
+			Val:    []float64{4, -1, 4},
+		}
+	}
+	key := func(ic *InlineCSR) string {
+		t.Helper()
+		k, _, _, _, err := resolveMatrix(&SolveRequest{Inline: ic})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key(inline()) != key(inline()) {
+		t.Error("identical inline matrices keyed differently")
+	}
+	perturbed := inline()
+	perturbed.Val[2] = 4.0000000001
+	if key(inline()) == key(perturbed) {
+		t.Error("perturbed inline matrix shares the cache key")
+	}
+}
+
+// TestSpecKeyingDistinguishesParameters pins the named-spec identity: the
+// same generator with different parameters must not share artifacts.
+func TestSpecKeyingDistinguishesParameters(t *testing.T) {
+	keyOf := func(spec harness.MatrixSpec) string {
+		t.Helper()
+		k, _, _, _, err := resolveMatrix(&SolveRequest{Matrix: &spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	a := specFor(t, "poisson2d", 100)
+	b := specFor(t, "poisson2d", 144)
+	c := specFor(t, "tridiag", 100)
+	if keyOf(a) == keyOf(b) || keyOf(a) == keyOf(c) {
+		t.Errorf("spec keys collide: %q %q %q", keyOf(a), keyOf(b), keyOf(c))
+	}
+	if keyOf(a) != keyOf(specFor(t, "poisson2d", 100)) {
+		t.Error("identical specs keyed differently")
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// errQueueFull rejects a submission when the bounded queue is at
+	// capacity (HTTP 429).
+	errQueueFull = errors.New("server: solve queue is full")
+	// errShuttingDown rejects submissions once draining began (HTTP 503).
+	errShuttingDown = errors.New("server: shutting down")
+)
+
+// task is one scheduled solve. Ownership is decided by a single atomic
+// claim: the worker claims it to execute, or the request's deadline claims
+// it to abandon — whoever wins decides, so an expired task is never solved
+// and a started solve is never double-reported.
+type task struct {
+	run      func()
+	enqueued time.Time
+	claimed  atomic.Bool
+	done     chan struct{}
+}
+
+func newTask(run func()) *task {
+	return &task{run: run, enqueued: time.Now(), done: make(chan struct{})}
+}
+
+// claim takes ownership; exactly one caller ever succeeds.
+func (t *task) claim() bool { return t.claimed.CompareAndSwap(false, true) }
+
+// scheduler executes tasks from a bounded queue on a fixed set of solver
+// goroutines. It exists so concurrency is explicit and finite: admission
+// fails fast when the queue is full, and shutdown drains every admitted
+// task before returning.
+type scheduler struct {
+	mu     sync.RWMutex // guards closed against the queue send in submit
+	closed bool
+	queue  chan *task
+	wg     sync.WaitGroup
+}
+
+func newScheduler(workers, depth int) *scheduler {
+	s := &scheduler{queue: make(chan *task, depth)}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		if !t.claim() {
+			continue // abandoned by its deadline while queued
+		}
+		t.run()
+		close(t.done)
+	}
+}
+
+// submit enqueues the task without blocking: a full queue or a draining
+// scheduler is reported immediately so the caller can answer 429/503.
+func (s *scheduler) submit(t *task) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return errShuttingDown
+	}
+	select {
+	case s.queue <- t:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// shutdown stops admission and drains: every task already in the queue
+// still runs to completion (waiters on task.done all get answers) before
+// shutdown returns. Idempotent.
+func (s *scheduler) shutdown() {
+	s.mu.Lock()
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !alreadyClosed {
+		close(s.queue)
+	}
+	s.wg.Wait()
+}
+
+// depth reports the number of queued-but-unclaimed tasks.
+func (s *scheduler) depth() int { return len(s.queue) }

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/pool"
+	"repro/internal/sparse"
+)
+
+// maxBodyBytes bounds a request body (inline matrices dominate).
+const maxBodyBytes = 64 << 20
+
+// Config parameterises the service. Zero values select the defaults.
+type Config struct {
+	// Workers sizes the kernel worker pool the solves run on: 0 = the
+	// shared GOMAXPROCS pool, 1 = sequential kernels, otherwise a
+	// dedicated pool of that size (harness.PoolFor semantics).
+	Workers int
+	// Concurrency is the number of solves executing at once (default
+	// GOMAXPROCS/2, at least 1). Kernel-level parallelism inside each
+	// solve comes on top, bounded by the shared pool.
+	Concurrency int
+	// QueueDepth bounds the requests queued but not yet solving (default
+	// 64); submissions beyond it are rejected with HTTP 429.
+	QueueDepth int
+	// CacheEntries bounds the per-matrix artifact cache (default 32,
+	// LRU-evicted).
+	CacheEntries int
+	// DefaultTimeout applies when a request names no deadline (default
+	// 30s); MaxTimeout clamps requested deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = max(1, runtime.GOMAXPROCS(0)/2)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 32
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the resident solve service. Construct with New, mount
+// Handler on an http.Server, and Shutdown to drain.
+type Server struct {
+	cfg       Config
+	pool      *pool.Pool
+	poolClose func()
+	cache     *cache
+	sched     *scheduler
+	mux       *http.ServeMux
+	started   time.Time
+	draining  atomic.Bool
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	rejected  atomic.Int64
+	expired   atomic.Int64
+
+	// testHookPreSolve, when non-nil, runs on the scheduler goroutine
+	// after a task is claimed and before its solve — a deterministic seam
+	// for the saturation and drain tests.
+	testHookPreSolve func()
+}
+
+// New builds a ready-to-serve service.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	pl, done := harness.PoolFor(cfg.Workers)
+	s := &Server{
+		cfg:       cfg,
+		pool:      pl,
+		poolClose: done,
+		cache:     newCache(cfg.CacheEntries),
+		sched:     newScheduler(cfg.Concurrency, cfg.QueueDepth),
+		started:   time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// StartDraining flips the service into drain mode without blocking: new
+// solve requests are refused with 503 and /v1/healthz reports "draining",
+// while admitted work continues. Callers embedding the handler in an
+// http.Server call it before stopping that server, so health probes see
+// the documented draining state instead of a vanished listener. Shutdown
+// implies it.
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Shutdown drains gracefully: new solve requests are refused with 503
+// immediately, every request already admitted to the queue still runs to
+// completion, and the dedicated kernel pool (if any) is released last.
+// Idempotent. Callers embedding the handler in an http.Server should stop
+// that server first so in-flight handlers can collect their results.
+func (s *Server) Shutdown() {
+	s.StartDraining()
+	s.sched.shutdown()
+	s.poolClose()
+}
+
+// kernelWorkers is the worker count the parallel kernels will plan for.
+func (s *Server) kernelWorkers() int {
+	if s.pool == nil {
+		return 1
+	}
+	return s.pool.Workers()
+}
+
+func (s *Server) timeoutFor(ms int) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// solveOutcome is what the hot path hands back to the handler: the raw
+// stats, the residual-history fingerprint bits and the measured solve
+// time. Formatting into the response record happens off the hot path.
+type solveOutcome struct {
+	stats      core.Stats
+	hash       uint64
+	err        error
+	solveNanos int64
+}
+
+// solve is the request hot path: it draws a warm per-matrix context from
+// the entry's pool, resolves every per-matrix artifact from the cache
+// (right-hand side, preconditioner, model-optimal intervals) and runs the
+// single trial on the shared kernel pool. For a warm entry and a
+// fault-free request this performs zero heap allocations (gated by
+// alloc_test.go); fault-injecting requests additionally construct their
+// injector. Deterministic: identical (entry, scenario, seeds) always
+// produce bit-identical residual histories.
+func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64) solveOutcome {
+	var out solveOutcome
+	c := ent.ctxs.Get().(*solveCtx)
+	defer ent.ctxs.Put(c)
+
+	b := ent.rhsFor(rhsSeed)
+	var m *sparse.CSR
+	if sc.Solver == "pcg" {
+		var err error
+		if m, err = ent.precondFor(sc.Precond); err != nil {
+			out.err = err
+			return out
+		}
+	}
+	if scheme, unprotected, _ := harness.ParseScheme(sc.Scheme); !unprotected && (sc.D == 0 || sc.S == 0) {
+		// Inject the cached model-optimal intervals — the same values the
+		// drivers would derive per solve from the same inputs.
+		d, sOpt := ent.intervalsFor(scheme, sc.Alpha)
+		if sc.D == 0 {
+			sc.D = d
+		}
+		if sc.S == 0 {
+			sc.S = sOpt
+		}
+	}
+
+	c.hist = c.hist[:0]
+	start := time.Now()
+	_, st, err := harness.SolveWith(ent.a, b, sc, sc.Seed, harness.SolveOpts{
+		Pool: s.pool, Ws: c.ws, M: m, OnIteration: c.record,
+	})
+	out.solveNanos = time.Since(start).Nanoseconds()
+	out.stats = st
+	out.hash = harness.HashBits(c.hist)
+	out.err = err
+	return out
+}
+
+// record shapes a solve outcome as the standard campaign record.
+func (s *Server) record(ent *entry, sc harness.Scenario, out solveOutcome) harness.Result {
+	st := out.stats
+	r := harness.Result{
+		Schema:   harness.SchemaVersion,
+		Scenario: sc,
+		Workers:  s.cfg.Workers,
+		Matrix: harness.MatrixInfo{
+			Label:   ent.label,
+			N:       ent.a.Rows,
+			NNZ:     ent.a.NNZ(),
+			Density: ent.a.Density(),
+		},
+		Reps:             1,
+		D:                st.D,
+		S:                st.S,
+		MeanUsefulIters:  float64(st.UsefulIterations),
+		MeanTotalIters:   float64(st.TotalIterations),
+		Detections:       st.Detections,
+		Corrections:      st.Corrections,
+		Rollbacks:        st.Rollbacks,
+		Checkpoints:      st.Checkpoints,
+		FaultsInjected:   st.FaultsInjected,
+		MeanSimTime:      st.SimTime,
+		SimTimes:         []float64{st.SimTime},
+		MaxFinalResidual: st.FinalResidual,
+		FlopsPerIter:     core.CGFlopsPerIter(ent.a),
+		ResidualHash:     harness.FormatHash(out.hash),
+		WallSeconds:      float64(out.solveNanos) / 1e9,
+	}
+	if sc.Solver == "bicgstab" {
+		r.FlopsPerIter *= 2
+	}
+	if st.Converged {
+		r.Converged = 1
+	}
+	if out.err != nil {
+		r.Failures = 1
+	}
+	return r
+}
+
+// resolveMatrix derives the cache identity of the request's matrix: named
+// specs key on their canonical JSON, inline matrices on their content
+// fingerprint. The returned build runs at most once per cache entry.
+func resolveMatrix(req *SolveRequest) (key, label string, spec harness.MatrixSpec, build func() (*sparse.CSR, error), err error) {
+	if req.Inline != nil {
+		a, cerr := req.Inline.toCSR()
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		label = fmt.Sprintf("inline:%016x", a.Fingerprint())
+		key = label
+		spec = harness.MatrixSpec{Gen: "inline", N: a.Rows}
+		build = func() (*sparse.CSR, error) { return a, nil }
+		return
+	}
+	spec = *req.Matrix
+	js, merr := json.Marshal(spec)
+	if merr != nil {
+		err = merr
+		return
+	}
+	key = "spec:" + string(js)
+	label = spec.String()
+	build = spec.Build
+	return
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if s.draining.Load() {
+		respondErr(w, http.StatusServiceUnavailable, errShuttingDown)
+		return
+	}
+	var req SolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	key, label, spec, build, err := resolveMatrix(&req)
+	if err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ent, hit := s.cache.get(key, label, spec)
+	// Materialise on the handler goroutine: the cold construction cost
+	// never occupies a solver slot, and concurrent first requests for the
+	// same matrix block here on a single build.
+	if err := ent.materialise(s.kernelWorkers(), build); err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sc := req.scenario(ent.spec, ent.label)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMillis))
+	defer cancel()
+
+	var out solveOutcome
+	var queueNanos int64
+	t := newTask(nil)
+	t.run = func() {
+		queueNanos = time.Since(t.enqueued).Nanoseconds()
+		if hook := s.testHookPreSolve; hook != nil {
+			hook()
+		}
+		out = s.solve(ent, sc, req.rhsSeed())
+	}
+	if err := s.sched.submit(t); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.rejected.Add(1)
+			respondErr(w, http.StatusTooManyRequests, err)
+		} else {
+			respondErr(w, http.StatusServiceUnavailable, err)
+		}
+		return
+	}
+	select {
+	case <-t.done:
+	case <-ctx.Done():
+		if t.claim() {
+			// Still queued: abandon it before a worker picks it up. A solve
+			// already claimed runs to completion and is delivered below —
+			// the deadline bounds queue wait, not a started solve.
+			s.expired.Add(1)
+			respondErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded while queued: %w", ctx.Err()))
+			return
+		}
+		<-t.done
+	}
+
+	resp := SolveResponse{
+		Schema:      SchemaVersion,
+		Result:      s.record(ent, sc, out),
+		CacheHit:    hit,
+		QueueMillis: float64(queueNanos) / 1e6,
+		SolveMillis: float64(out.solveNanos) / 1e6,
+	}
+	if out.err != nil {
+		s.failed.Add(1)
+		resp.SolveError = out.err.Error()
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Schema:        SchemaVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.kernelWorkers(),
+		Concurrency:   s.cfg.Concurrency,
+		QueueDepth:    s.sched.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Completed:     s.completed.Load(),
+		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
+		Expired:       s.expired.Load(),
+		Draining:      s.draining.Load(),
+		Cache:         s.cache.stats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func respondErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Schema: SchemaVersion, Error: err.Error()})
+}

@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown()
+	})
+	return s, ts
+}
+
+func poisson2DRequest(n int) *SolveRequest {
+	spec, _ := harness.NewMatrixSpec("poisson2d", n, 0)
+	return &SolveRequest{Matrix: &spec, Seed: 7}
+}
+
+// postSolve posts the request and decodes the body into out (a
+// *SolveResponse for 200, *ErrorResponse otherwise). Returns the status.
+func postSolve(t *testing.T, url string, req *SolveRequest, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %d response: %v", resp.StatusCode, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSolveEndToEnd(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 2, Concurrency: 2, QueueDepth: 8})
+
+	cases := []struct {
+		solver, scheme string
+		alpha          float64
+	}{
+		{"cg", "abft-correction", 0},
+		{"cg", "abft-detection", 0},
+		{"cg", "online-detection", 0},
+		{"cg", "unprotected", 0},
+		{"cg", "abft-correction", 0.05},
+		{"pcg", "abft-correction", 0},
+		{"pcg", "unprotected", 0},
+		{"bicgstab", "abft-correction", 0},
+	}
+	for _, tc := range cases {
+		name := tc.solver + "/" + tc.scheme
+		req := poisson2DRequest(225)
+		req.Solver, req.Scheme, req.Alpha = tc.solver, tc.scheme, tc.alpha
+		var resp SolveResponse
+		if code := postSolve(t, ts.URL, req, &resp); code != http.StatusOK {
+			t.Fatalf("%s: status %d", name, code)
+		}
+		if resp.Schema != SchemaVersion {
+			t.Errorf("%s: schema %d, want %d", name, resp.Schema, SchemaVersion)
+		}
+		if resp.SolveError != "" {
+			t.Fatalf("%s: solve error: %s", name, resp.SolveError)
+		}
+		r := resp.Result
+		if r.Schema != harness.SchemaVersion || r.Converged != 1 || r.Reps != 1 {
+			t.Errorf("%s: record schema=%d converged=%d reps=%d", name, r.Schema, r.Converged, r.Reps)
+		}
+		if r.ResidualHash == "" || r.ResidualHash == harness.HashHistory(nil) {
+			t.Errorf("%s: empty residual hash %q", name, r.ResidualHash)
+		}
+		if r.Matrix.N != 225 || r.Matrix.NNZ == 0 {
+			t.Errorf("%s: matrix info %+v", name, r.Matrix)
+		}
+		if r.MaxFinalResidual > 1e-6 {
+			t.Errorf("%s: final residual %g", name, r.MaxFinalResidual)
+		}
+	}
+}
+
+func TestSolveRequestValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, Concurrency: 1})
+
+	cases := []struct {
+		name string
+		req  *SolveRequest
+		code int
+	}{
+		{"no matrix", &SolveRequest{Solver: "cg"}, http.StatusBadRequest},
+		{"both matrices", func() *SolveRequest {
+			r := poisson2DRequest(16)
+			r.Inline = &InlineCSR{Rows: 1, Cols: 1, Rowidx: []int{0, 1}, Colid: []int{0}, Val: []float64{1}}
+			return r
+		}(), http.StatusBadRequest},
+		{"unknown solver", func() *SolveRequest {
+			r := poisson2DRequest(16)
+			r.Solver = "chebyshev"
+			return r
+		}(), http.StatusBadRequest},
+		{"fault-injected baseline", func() *SolveRequest {
+			r := poisson2DRequest(16)
+			r.Scheme = "unprotected"
+			r.Alpha = 0.1
+			return r
+		}(), http.StatusBadRequest},
+		{"future schema", func() *SolveRequest {
+			r := poisson2DRequest(16)
+			r.Schema = SchemaVersion + 1
+			return r
+		}(), http.StatusBadRequest},
+		{"bad inline matrix", &SolveRequest{Inline: &InlineCSR{
+			Rows: 2, Cols: 2, Rowidx: []int{0, 1}, Colid: []int{0}, Val: []float64{1},
+		}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var er ErrorResponse
+		if code := postSolve(t, ts.URL, tc.req, &er); code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+		} else if er.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+}
+
+// TestRepeatedRequestsBitIdentical is the server-path determinism gate:
+// repeated identical requests — sequential and concurrent, cold and warm
+// cache — must return bit-identical residual-history hashes and identical
+// canonical records.
+func TestRepeatedRequestsBitIdentical(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 4, Concurrency: 4, QueueDepth: 32})
+
+	for _, tc := range []struct{ solver, scheme string }{
+		{"cg", "abft-correction"},
+		{"pcg", "unprotected"},
+		{"bicgstab", "abft-correction"},
+	} {
+		req := poisson2DRequest(225)
+		req.Solver, req.Scheme = tc.solver, tc.scheme
+
+		const reps = 6
+		responses := make([]SolveResponse, reps)
+		var wg sync.WaitGroup
+		for i := 0; i < reps; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if code := postSolve(t, ts.URL, req, &responses[i]); code != http.StatusOK {
+					t.Errorf("rep %d: status %d", i, code)
+				}
+			}(i)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("%s/%s: request failures", tc.solver, tc.scheme)
+		}
+		want, err := json.Marshal(responses[0].Result.Canonical())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < reps; i++ {
+			if responses[i].Result.ResidualHash != responses[0].Result.ResidualHash {
+				t.Errorf("%s/%s rep %d: hash %s != %s", tc.solver, tc.scheme, i,
+					responses[i].Result.ResidualHash, responses[0].Result.ResidualHash)
+			}
+			got, err := json.Marshal(responses[i].Result.Canonical())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// WallSeconds and the wall-clock response fields differ; the
+			// canonical record must not.
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s/%s rep %d: canonical record differs:\n%s\n%s", tc.solver, tc.scheme, i, got, want)
+			}
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts runs the same request on a sequential
+// and a 4-worker server: the deterministic blocked kernels must produce
+// the same residual hash.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	req := poisson2DRequest(225)
+	req.Scheme = "abft-correction"
+
+	var hashes []string
+	for _, workers := range []int{1, 4} {
+		_, ts := testServer(t, Config{Workers: workers, Concurrency: 2})
+		var resp SolveResponse
+		if code := postSolve(t, ts.URL, req, &resp); code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, code)
+		}
+		hashes = append(hashes, resp.Result.ResidualHash)
+	}
+	if hashes[0] != hashes[1] {
+		t.Errorf("hash differs across worker counts: %s vs %s", hashes[0], hashes[1])
+	}
+}
+
+func TestCacheHitReporting(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, Concurrency: 1})
+	req := poisson2DRequest(64)
+
+	var cold, warm SolveResponse
+	postSolve(t, ts.URL, req, &cold)
+	postSolve(t, ts.URL, req, &warm)
+	if cold.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if !warm.CacheHit {
+		t.Error("second request reported a cache miss")
+	}
+	cs := s.cache.stats()
+	if cs.Entries != 1 || cs.Hits != 1 || cs.Misses != 1 {
+		t.Errorf("cache stats %+v, want 1 entry, 1 hit, 1 miss", cs)
+	}
+}
+
+// TestQueueSaturationAndDeadline pins the admission-control semantics: a
+// full queue answers 429 immediately, and a queued request whose deadline
+// expires before a solver slot frees answers 504 without ever solving.
+func TestQueueSaturationAndDeadline(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, Concurrency: 1, QueueDepth: 2})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s.testHookPreSolve = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	req := poisson2DRequest(64)
+	type outcome struct {
+		code int
+		resp SolveResponse
+	}
+	results := make(chan outcome, 4)
+	async := func(r *SolveRequest) {
+		go func() {
+			var resp SolveResponse
+			code := postSolve(t, ts.URL, r, &resp)
+			results <- outcome{code, resp}
+		}()
+	}
+
+	// A claims the only solver slot and blocks inside the hook.
+	async(req)
+	<-entered
+	// B fills queue slot 1.
+	async(req)
+	waitFor(t, func() bool { return s.sched.depth() >= 1 })
+	// D fills queue slot 2 with a deadline far shorter than A's hold.
+	timed := poisson2DRequest(64)
+	timed.TimeoutMillis = 50
+	var er ErrorResponse
+	timedCode := make(chan int, 1)
+	go func() { timedCode <- postSolve(t, ts.URL, timed, &er) }()
+	waitFor(t, func() bool { return s.sched.depth() >= 2 })
+
+	// C finds the queue full.
+	var full ErrorResponse
+	if code := postSolve(t, ts.URL, req, &full); code != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429", code)
+	}
+	// D expires while queued.
+	if code := <-timedCode; code != http.StatusGatewayTimeout {
+		t.Fatalf("expired request: status %d, want 504", code)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		out := <-results
+		if out.code != http.StatusOK {
+			t.Errorf("blocked request %d: status %d", i, out.code)
+		}
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	if got := s.expired.Load(); got != 1 {
+		t.Errorf("expired = %d, want 1", got)
+	}
+	if got := s.completed.Load(); got != 2 {
+		t.Errorf("completed = %d, want 2", got)
+	}
+}
+
+// TestGracefulShutdownDrains verifies Shutdown semantics: new requests
+// are refused immediately, but everything already admitted — the solve in
+// flight and the solve still queued — completes with a full response.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, ts := testServer(t, Config{Workers: 1, Concurrency: 1, QueueDepth: 4})
+	entered := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s.testHookPreSolve = func() {
+		entered <- struct{}{}
+		<-release
+	}
+
+	req := poisson2DRequest(64)
+	codes := make(chan int, 2)
+	async := func() {
+		go func() {
+			var resp SolveResponse
+			codes <- postSolve(t, ts.URL, req, &resp)
+		}()
+	}
+	async() // in flight, blocked in the hook
+	<-entered
+	async() // admitted to the queue
+	waitFor(t, func() bool { return s.sched.depth() >= 1 })
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		s.Shutdown()
+		close(shutdownDone)
+	}()
+	waitFor(t, func() bool { return s.draining.Load() })
+
+	// New work is refused while draining.
+	var er ErrorResponse
+	if code := postSolve(t, ts.URL, req, &er); code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", code)
+	}
+
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned before the queue drained")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("admitted request %d: status %d after drain, want 200", i, code)
+		}
+	}
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the queue drained")
+	}
+	if got := s.completed.Load(); got != 2 {
+		t.Errorf("completed = %d, want 2", got)
+	}
+}
+
+func TestStatsAndHealthEndpoints(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, Concurrency: 1})
+	req := poisson2DRequest(64)
+	postSolve(t, ts.URL, req, nil)
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != SchemaVersion || st.Completed != 1 || st.Cache.Entries != 1 {
+		t.Errorf("stats %+v: want schema %d, 1 completed, 1 cache entry", st, SchemaVersion)
+	}
+
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health map[string]string
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health status %q, want ok", health["status"])
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

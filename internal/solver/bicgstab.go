@@ -49,6 +49,9 @@ func BiCGstab(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rNorm)
 		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it+1, rNorm)
+		}
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true

@@ -31,6 +31,13 @@ type Options struct {
 	// RecordResiduals, when true, stores ‖r‖ at every iteration in the
 	// result (used by convergence tests and plots).
 	RecordResiduals bool
+	// OnIteration, when non-nil, streams the per-iteration recurrence
+	// residual norm: it is called with the 1-based iteration index at
+	// exactly the point where RecordResiduals would append, and receives
+	// the same values. Unlike RecordResiduals it performs no allocation,
+	// so a workspace-carrying warm solve that fingerprints its trajectory
+	// stays allocation-free. Honoured by CG, PCG, PCGWith and BiCGstab.
+	OnIteration func(it int, res float64)
 	// Ws, when non-nil, supplies the iteration vectors from a reusable
 	// workspace: a warm workspace makes the whole solve allocation-free.
 	// Result.X then aliases workspace memory — copy it out before reuse.
@@ -90,6 +97,9 @@ func CG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 	for it := 0; it < opt.MaxIter; it++ {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, math.Sqrt(rho))
+		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it+1, math.Sqrt(rho))
 		}
 		if math.Sqrt(rho) <= opt.Tol*normB {
 			res.Iterations = it
@@ -164,6 +174,9 @@ func PCG(a *sparse.CSR, b []float64, opt Options) (Result, error) {
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rNorm)
 		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it+1, rNorm)
+		}
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
 			res.Converged = true
@@ -233,6 +246,9 @@ func PCGWith(a, m *sparse.CSR, b []float64, opt Options) (Result, error) {
 		rNorm := vec.Norm2(r)
 		if opt.RecordResiduals {
 			res.Residuals = append(res.Residuals, rNorm)
+		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(it+1, rNorm)
 		}
 		if rNorm <= opt.Tol*normB {
 			res.Iterations = it
