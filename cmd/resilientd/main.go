@@ -48,6 +48,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		concurrency = fs.Int("concurrency", 0, "solves executing at once (0 = GOMAXPROCS/2)")
 		queue       = fs.Int("queue", 64, "bounded queue depth; beyond it requests get 429")
 		cacheSize   = fs.Int("cache", 32, "per-matrix artifact cache entries (LRU)")
+		cacheBytes  = fs.Int64("cache-bytes", 0, "artifact cache footprint budget in bytes (0 = 256 MiB, negative = unbounded)")
+		cacheTTL    = fs.Duration("cache-ttl", 0, "age out cache entries idle this long (0 = 15m, negative = never)")
+		shard       = fs.String("shard", "", "shard label stamped into result provenance and /v1/healthz (sharded deployments)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "clamp on requested deadlines")
 		quiet       = fs.Bool("q", false, "suppress startup and drain logging")
@@ -61,8 +64,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		Concurrency:    *concurrency,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheSize,
+		CacheBytes:     *cacheBytes,
+		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		ShardLabel:     *shard,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -89,3 +89,55 @@ func TestRunRejectsBusyAddress(t *testing.T) {
 		t.Fatal("expected a listen error on a busy address")
 	}
 }
+
+// TestRunShardLabel pins the sharded-deployment provenance: the -shard
+// label must surface in /v1/healthz and in every result record.
+func TestRunShardLabel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-shard", "s7", "-q"}, io.Discard, started)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-started:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("listener did not come up")
+	}
+	base := "http://" + addr.String()
+
+	hz, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var health server.HealthResponse
+	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Shard != "s7" || health.Status != "ok" {
+		t.Errorf("healthz %+v, want shard s7 and status ok", health)
+	}
+
+	body := []byte(`{"matrix": {"gen": "poisson2d", "n": 64}, "seed": 5}`)
+	post, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer post.Body.Close()
+	var resp server.SolveResponse
+	if err := json.NewDecoder(post.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Shard != "s7" {
+		t.Errorf("result shard %q, want s7", resp.Result.Shard)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("run returned %v after drain", err)
+	}
+}

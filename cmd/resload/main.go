@@ -1,12 +1,32 @@
-// Command resload is the load generator for resilientd: it drives a
-// running service with a deterministic concurrent mix of solve requests
-// (matrices × solvers × schemes), measures throughput and latency
-// percentiles, and cross-checks determinism — every response for the same
-// request cell must carry the same residual-history hash.
+// Command resload is the load generator for resilientd and resrouter:
+// it drives a running service with a deterministic concurrent mix of
+// solve requests (matrices × solvers × schemes), measures throughput and
+// latency percentiles, and cross-checks determinism — every response for
+// the same request cell must carry the same residual-history hash.
 //
 //	resload -addr http://127.0.0.1:8723 -n 64 -c 8
 //	resload -addr ... -json -out load.json
 //	resload -addr ... -check        # nonzero exit unless all OK and deterministic
+//
+// Sharded deployments are verified end to end with the router modes:
+//
+//	resload -addr http://127.0.0.1:8900 -router -check
+//	resload -addr ... -router -shards http://127.0.0.1:9001,http://127.0.0.1:9002 -check
+//
+// -router treats the target as a resrouter (its /routerz must answer and
+// is folded into the record); -shards re-issues one request per cell
+// directly against the listed shard addresses and fails -check unless
+// every direct residual hash is bit-identical to the routed one — the
+// determinism gate across routing paths, before and after failover.
+//
+// Recorded campaigns replace the flag axes for production-shaped replay:
+//
+//	resload -addr ... -record campaign.json     # write the mix + observed hashes
+//	resload -addr ... -replay campaign.json -check
+//
+// A replayed run drives the recorded request mix (and request count and
+// concurrency, unless overridden) and fails -check unless every cell
+// reproduces its recorded residual hash.
 //
 // The emitted record is schema-versioned JSON in the same style as the
 // campaign and benchmark tooling, so CI can gate on it.
@@ -27,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -63,6 +84,66 @@ type Record struct {
 	// every cell with at least one OK response.
 	Mix           []MixCell `json:"mix"`
 	Deterministic bool      `json:"deterministic"`
+	// Replay is set when the mix came from a recorded campaign file.
+	Replay *ReplayCheck `json:"replay,omitempty"`
+	// Direct is set when -shards cross-checked routed hashes against
+	// direct single-shard serving.
+	Direct *DirectCheck `json:"direct,omitempty"`
+	// Router is set in -router mode: the target's /routerz snapshot
+	// after the run.
+	Router *RouterSummary `json:"router,omitempty"`
+}
+
+// ReplayCheck reports how a replayed campaign compared to its recording.
+type ReplayCheck struct {
+	Source string `json:"source"`
+	// RecordedCells counts mix cells that carried a recorded hash;
+	// Mismatches counts those whose replayed hash differed.
+	RecordedCells int `json:"recorded_cells"`
+	Mismatches    int `json:"mismatches"`
+}
+
+// DirectCheck reports the routed-vs-direct hash cross-check.
+type DirectCheck struct {
+	Shards []string `json:"shards"`
+	// Checks counts cells re-issued directly; Mismatches counts direct
+	// hashes that differed from the routed hash; Errors counts direct
+	// requests that failed outright.
+	Checks     int `json:"checks"`
+	Mismatches int `json:"mismatches"`
+	Errors     int `json:"errors"`
+}
+
+// RouterSummary condenses the target's /routerz after the run.
+type RouterSummary struct {
+	Shards        int   `json:"shards"`
+	HealthyShards int   `json:"healthy_shards"`
+	Routed        int64 `json:"routed"`
+	Failovers     int64 `json:"failovers"`
+	Unroutable    int64 `json:"unroutable"`
+	DistinctKeys  int   `json:"distinct_keys"`
+}
+
+// Campaign is the recorded request mix (-record / -replay): the
+// schema-versioned file format that lets a production traffic shape be
+// replayed against a candidate build or routing topology.
+type Campaign struct {
+	Schema int `json:"schema"`
+	// Requests and Concurrency reproduce the run shape on replay (flags
+	// override them when set explicitly).
+	Requests    int            `json:"requests"`
+	Concurrency int            `json:"concurrency"`
+	Cells       []CampaignCell `json:"cells"`
+}
+
+// CampaignCell is one recorded request template.
+type CampaignCell struct {
+	Name    string              `json:"name"`
+	Request server.SolveRequest `json:"request"`
+	// ResidualHash is the hash the cell answered with when recorded
+	// (set only if the cell was deterministic); on replay it becomes
+	// the expected value.
+	ResidualHash string `json:"residual_hash,omitempty"`
 }
 
 // LatencySummary holds round-trip percentiles in milliseconds.
@@ -82,6 +163,8 @@ type MixCell struct {
 	DistinctHashes int    `json:"distinct_hashes"`
 	// ResidualHash is the (unique) hash when the cell is deterministic.
 	ResidualHash string `json:"residual_hash,omitempty"`
+	// RecordedHash echoes the campaign's expected hash in replay mode.
+	RecordedHash string `json:"recorded_hash,omitempty"`
 }
 
 func main() {
@@ -95,6 +178,8 @@ func main() {
 type cell struct {
 	name string
 	req  server.SolveRequest
+	// wantHash is the recorded residual hash in replay mode ("" = none).
+	wantHash string
 }
 
 // outcome is one request's result.
@@ -123,19 +208,49 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeoutMS = fs.Int("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
 		jsonOut   = fs.Bool("json", false, "emit the JSON record on stdout instead of the text summary")
 		outPath   = fs.String("out", "", "also write the JSON record to this file")
-		check     = fs.Bool("check", false, "exit nonzero unless every request succeeded and every cell hashed identically")
+		check     = fs.Bool("check", false, "exit nonzero unless every request succeeded, every cell hashed identically, and every enabled cross-check passed")
 		quiet     = fs.Bool("q", false, "suppress progress output")
+		isRouter  = fs.Bool("router", false, "target is a resrouter: require and report its /routerz")
+		shardsCSV = fs.String("shards", "", "comma-separated direct shard base URLs: re-issue each cell directly and cross-check residual hashes against the routed run")
+		recordTo  = fs.String("record", "", "write the request mix and observed hashes as a replayable campaign file")
+		replayOf  = fs.String("replay", "", "drive the mix from a recorded campaign file instead of the flag axes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var mix []cell
+	var replay *ReplayCheck
+	if *replayOf != "" {
+		camp, err := loadCampaign(*replayOf)
+		if err != nil {
+			return err
+		}
+		replay = &ReplayCheck{Source: *replayOf}
+		for _, cc := range camp.Cells {
+			mix = append(mix, cell{name: cc.Name, req: cc.Request, wantHash: cc.ResidualHash})
+			if cc.ResidualHash != "" {
+				replay.RecordedCells++
+			}
+		}
+		// The campaign reproduces its run shape unless overridden.
+		if !explicit["n"] && camp.Requests > 0 {
+			*n = camp.Requests
+		}
+		if !explicit["c"] && camp.Concurrency > 0 {
+			*c = camp.Concurrency
+		}
+	} else {
+		var err error
+		mix, err = buildMix(*matrices, *solvers, *schemes, *alpha, *seed, *timeoutMS)
+		if err != nil {
+			return err
+		}
+	}
 	if *n < 1 || *c < 1 {
 		return fmt.Errorf("need -n ≥ 1 and -c ≥ 1")
-	}
-
-	mix, err := buildMix(*matrices, *solvers, *schemes, *alpha, *seed, *timeoutMS)
-	if err != nil {
-		return err
 	}
 	if !*quiet {
 		fmt.Fprintf(stderr, "resload: %d requests over %d cells, %d workers, target %s\n",
@@ -144,6 +259,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	outcomes, wall := fire(*addr, mix, *n, *c, *timeoutMS)
 	rec := aggregate(*addr, *c, mix, outcomes, wall)
+	rec.Replay = replay
+	if replay != nil {
+		for _, cl := range rec.Mix {
+			// A replayed cell fails only when it answered with a single,
+			// different hash; nondeterminism is already Deterministic=false.
+			if cl.RecordedHash != "" && cl.ResidualHash != "" && cl.ResidualHash != cl.RecordedHash {
+				replay.Mismatches++
+			}
+		}
+	}
+	if *shardsCSV != "" {
+		rec.Direct = directCheck(splitList(*shardsCSV), mix, rec.Mix, *timeoutMS)
+	}
+	if *isRouter {
+		rs, err := fetchRouterz(*addr)
+		if err != nil {
+			if *check {
+				return fmt.Errorf("check failed: -router target has no /routerz: %w", err)
+			}
+			fmt.Fprintf(stderr, "resload: warning: /routerz unreachable: %v\n", err)
+		}
+		rec.Router = rs
+	}
+	if *recordTo != "" {
+		if err := writeCampaign(*recordTo, *n, *c, rec.Mix, mix); err != nil {
+			return err
+		}
+	}
 
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
@@ -179,9 +322,126 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("check failed: repeated identical requests returned differing residual hashes")
 		case rec.Throughput <= 0:
 			return fmt.Errorf("check failed: zero throughput")
+		case rec.Replay != nil && rec.Replay.Mismatches > 0:
+			return fmt.Errorf("check failed: %d of %d replayed cells did not reproduce their recorded residual hash",
+				rec.Replay.Mismatches, rec.Replay.RecordedCells)
+		case rec.Direct != nil && (rec.Direct.Mismatches > 0 || rec.Direct.Errors > 0):
+			return fmt.Errorf("check failed: direct-vs-routed cross-check: %d mismatches, %d errors over %d checks",
+				rec.Direct.Mismatches, rec.Direct.Errors, rec.Direct.Checks)
 		}
+		// Router counters (failovers, unroutable) are cumulative over the
+		// router's lifetime, not this run's, so they are reported but
+		// never gated on — this run's own failures already surface above.
 	}
 	return nil
+}
+
+// loadCampaign reads and validates a recorded campaign file.
+func loadCampaign(path string) (Campaign, error) {
+	var camp Campaign
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return camp, err
+	}
+	if err := json.Unmarshal(raw, &camp); err != nil {
+		return camp, fmt.Errorf("campaign %s: %w", path, err)
+	}
+	if camp.Schema != Schema {
+		return camp, fmt.Errorf("campaign %s: schema %d, this resload speaks %d", path, camp.Schema, Schema)
+	}
+	if len(camp.Cells) == 0 {
+		return camp, fmt.Errorf("campaign %s: no cells", path)
+	}
+	for i := range camp.Cells {
+		cc := &camp.Cells[i]
+		cc.Request.WithDefaults()
+		if err := cc.Request.Validate(); err != nil {
+			return camp, fmt.Errorf("campaign %s: cell %q: %w", path, cc.Name, err)
+		}
+	}
+	return camp, nil
+}
+
+// writeCampaign records the run's mix as a replayable campaign: each
+// cell's request template plus the hash it answered with (when the cell
+// was deterministic — a cell that never got an OK, or disagreed with
+// itself, records no hash).
+func writeCampaign(path string, n, c int, cells []MixCell, mix []cell) error {
+	camp := Campaign{Schema: Schema, Requests: n, Concurrency: c}
+	for i, m := range mix {
+		cc := CampaignCell{Name: m.name, Request: m.req}
+		if cells[i].DistinctHashes == 1 {
+			cc.ResidualHash = cells[i].ResidualHash
+		}
+		camp.Cells = append(camp.Cells, cc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(camp); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// directCheck re-issues one request per deterministic cell straight at
+// the listed shard addresses (round-robin) and compares the direct
+// residual hash with the routed one: the determinism gate across routing
+// paths. Any shard can serve any cell — the solve is a pure function of
+// the request — so shard choice only spreads the load.
+func directCheck(shards []string, mix []cell, cells []MixCell, timeoutMS int) *DirectCheck {
+	dc := &DirectCheck{Shards: shards}
+	if len(shards) == 0 {
+		return dc
+	}
+	clientTimeout := 2 * time.Minute
+	if timeoutMS > 0 {
+		clientTimeout = time.Duration(timeoutMS)*time.Millisecond + 30*time.Second
+	}
+	client := &http.Client{Timeout: clientTimeout}
+	for i := range mix {
+		if cells[i].OK == 0 || cells[i].DistinctHashes != 1 {
+			continue
+		}
+		dc.Checks++
+		out := post(client, shards[i%len(shards)], i, &mix[i].req)
+		switch {
+		case out.transport || out.status != http.StatusOK || out.solveErr:
+			dc.Errors++
+		case out.hash != cells[i].ResidualHash:
+			dc.Mismatches++
+		}
+	}
+	return dc
+}
+
+// fetchRouterz snapshots the router's shard map after the run.
+func fetchRouterz(addr string) (*RouterSummary, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(addr + "/routerz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/routerz answered %s", resp.Status)
+	}
+	var rz router.RouterzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		return nil, fmt.Errorf("decoding /routerz: %w", err)
+	}
+	return &RouterSummary{
+		Shards:        len(rz.Shards),
+		HealthyShards: rz.HealthyShards,
+		Routed:        rz.Routed,
+		Failovers:     rz.Failovers,
+		Unroutable:    rz.Unroutable,
+		DistinctKeys:  rz.Keys.Distinct,
+	}, nil
 }
 
 // buildMix crosses matrices × solvers × schemes, dropping combinations
@@ -320,6 +580,7 @@ func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Dur
 	cells := make([]MixCell, len(mix))
 	for i, m := range mix {
 		cells[i].Name = m.name
+		cells[i].RecordedHash = m.wantHash
 		hashes[i] = make(map[string]int)
 	}
 	for _, o := range outcomes {
@@ -408,6 +669,25 @@ func writeSummary(w io.Writer, rec Record) error {
 		}
 		if _, err := fmt.Fprintf(w, "%-45s n=%-3d ok=%-3d hashes=%d %s %s\n",
 			cell.Name, cell.Requests, cell.OK, cell.DistinctHashes, cell.ResidualHash, mark); err != nil {
+			return err
+		}
+	}
+	if rec.Replay != nil {
+		if _, err := fmt.Fprintf(w, "replay source=%s recorded_cells=%d mismatches=%d\n",
+			rec.Replay.Source, rec.Replay.RecordedCells, rec.Replay.Mismatches); err != nil {
+			return err
+		}
+	}
+	if rec.Direct != nil {
+		if _, err := fmt.Fprintf(w, "direct cross-check shards=%d checks=%d mismatches=%d errors=%d\n",
+			len(rec.Direct.Shards), rec.Direct.Checks, rec.Direct.Mismatches, rec.Direct.Errors); err != nil {
+			return err
+		}
+	}
+	if rec.Router != nil {
+		if _, err := fmt.Fprintf(w, "router shards=%d healthy=%d routed=%d failovers=%d unroutable=%d distinct_keys=%d\n",
+			rec.Router.Shards, rec.Router.HealthyShards, rec.Router.Routed,
+			rec.Router.Failovers, rec.Router.Unroutable, rec.Router.DistinctKeys); err != nil {
 			return err
 		}
 	}

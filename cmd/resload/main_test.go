@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"io"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/router"
 	"repro/internal/server"
 )
 
@@ -117,5 +122,230 @@ func TestBuildMixRejectsBadMatrices(t *testing.T) {
 		if _, err := buildMix(bad, "cg", "unprotected", 0, 1, 0); err == nil {
 			t.Errorf("buildMix(%q) accepted", bad)
 		}
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "re-record the golden replay campaign")
+
+// routerTarget boots three real solve-service shards behind an
+// in-process router and returns the router URL, the shard URLs and a
+// kill function for the first shard.
+func routerTarget(t *testing.T) (string, []string, func()) {
+	t.Helper()
+	names := []string{"s0", "s1", "s2"}
+	shardURLs := make([]string, len(names))
+	shards := make([]router.Shard, len(names))
+	var killFirst func()
+	for i, name := range names {
+		s := server.New(server.Config{Workers: 1, Concurrency: 2, QueueDepth: 64, ShardLabel: name})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			s.Shutdown()
+		})
+		shardURLs[i] = ts.URL
+		shards[i] = router.Shard{Name: name, Addr: ts.URL}
+		if i == 0 {
+			killFirst = func() {
+				ts.CloseClientConnections()
+				ts.Close()
+			}
+		}
+	}
+	rt, err := router.New(router.Config{ProbeInterval: time.Hour, FailThreshold: 3}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		rt.Shutdown()
+	})
+	return rts.URL, shardURLs, killFirst
+}
+
+// TestRunRouterMode drives the sharded determinism gate end to end:
+// a routed campaign with a direct-shard cross-check, then a shard kill,
+// then a replay of the recorded campaign whose every hash must still
+// reproduce through the failover path.
+func TestRunRouterMode(t *testing.T) {
+	routerURL, shardURLs, killFirst := routerTarget(t)
+	campaign := filepath.Join(t.TempDir(), "campaign.json")
+
+	// Phase 1: all shards healthy. Record the campaign, cross-check
+	// routed hashes against direct serving on every shard.
+	var stdout bytes.Buffer
+	args := []string{
+		"-addr", routerURL, "-router",
+		"-shards", strings.Join(shardURLs, ","),
+		"-n", "24", "-c", "4",
+		"-matrices", "poisson2d:100,poisson2d:144,tridiag:120,tridiag:160",
+		"-solvers", "cg", "-schemes", "abft-correction,unprotected",
+		"-record", campaign,
+		"-json", "-check", "-q",
+	}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("phase 1: %v", err)
+	}
+	var rec1 Record
+	if err := json.Unmarshal(stdout.Bytes(), &rec1); err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Router == nil || rec1.Router.Shards != 3 || rec1.Router.HealthyShards != 3 {
+		t.Fatalf("phase 1 router summary %+v, want 3/3 shards", rec1.Router)
+	}
+	if rec1.Direct == nil || rec1.Direct.Checks == 0 || rec1.Direct.Mismatches != 0 || rec1.Direct.Errors != 0 {
+		t.Fatalf("phase 1 direct check %+v, want clean checks > 0", rec1.Direct)
+	}
+	if rec1.Router.DistinctKeys != 4 {
+		t.Errorf("router saw %d distinct keys, want 4", rec1.Router.DistinctKeys)
+	}
+
+	// Phase 2: kill a shard, replay the recorded campaign through the
+	// router. Its keys fail over; every recorded hash must reproduce.
+	killFirst()
+	stdout.Reset()
+	args = []string{
+		"-addr", routerURL, "-router",
+		"-shards", strings.Join(shardURLs[1:], ","),
+		"-replay", campaign,
+		"-json", "-check", "-q",
+	}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("phase 2 (post-kill replay): %v", err)
+	}
+	var rec2 Record
+	if err := json.Unmarshal(stdout.Bytes(), &rec2); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Replay == nil || rec2.Replay.RecordedCells == 0 || rec2.Replay.Mismatches != 0 {
+		t.Fatalf("phase 2 replay %+v, want recorded cells with 0 mismatches", rec2.Replay)
+	}
+	if rec2.Requests != 24 || rec2.OK != 24 {
+		t.Errorf("phase 2 replay shape: ok=%d/%d, want the campaign's 24", rec2.OK, rec2.Requests)
+	}
+	if rec2.Direct == nil || rec2.Direct.Mismatches != 0 || rec2.Direct.Errors != 0 {
+		t.Errorf("phase 2 direct check %+v, want clean", rec2.Direct)
+	}
+	// The recorded hashes equal phase 1's observed hashes by
+	// construction, so zero replay mismatches IS the cross-failover
+	// determinism gate; double-check one cell explicitly.
+	for i, cl := range rec2.Mix {
+		if cl.RecordedHash == "" || cl.ResidualHash != cl.RecordedHash {
+			t.Errorf("cell %d (%s): replayed hash %q vs recorded %q", i, cl.Name, cl.ResidualHash, cl.RecordedHash)
+		}
+	}
+}
+
+// TestRecordReplayRoundTrip pins the campaign file semantics against a
+// plain (router-less) service: a recorded mix replays to the same
+// per-cell hash set and reuses the recorded run shape.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	url := loadTarget(t)
+	campaign := filepath.Join(t.TempDir(), "campaign.json")
+
+	var stdout bytes.Buffer
+	if err := run([]string{
+		"-addr", url, "-n", "12", "-c", "3",
+		"-matrices", "poisson2d:64,tridiag:80", "-solvers", "cg,bicgstab", "-schemes", "abft-correction",
+		"-record", campaign, "-json", "-check", "-q",
+	}, &stdout, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var recorded Record
+	if err := json.Unmarshal(stdout.Bytes(), &recorded); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(campaign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var camp Campaign
+	if err := json.Unmarshal(raw, &camp); err != nil {
+		t.Fatal(err)
+	}
+	if camp.Schema != Schema || camp.Requests != 12 || camp.Concurrency != 3 || len(camp.Cells) != 4 {
+		t.Fatalf("campaign %+v: want schema %d, 12 requests, 3 workers, 4 cells", camp, Schema)
+	}
+	for _, cc := range camp.Cells {
+		if cc.ResidualHash == "" {
+			t.Errorf("cell %s recorded no hash", cc.Name)
+		}
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-addr", url, "-replay", campaign, "-json", "-check", "-q"}, &stdout, io.Discard); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	var replayed Record
+	if err := json.Unmarshal(stdout.Bytes(), &replayed); err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Requests != 12 || replayed.Replay == nil || replayed.Replay.RecordedCells != 4 || replayed.Replay.Mismatches != 0 {
+		t.Fatalf("replay record %+v (replay %+v), want 12 requests, 4 recorded cells, 0 mismatches",
+			replayed, replayed.Replay)
+	}
+	for i := range recorded.Mix {
+		if recorded.Mix[i].ResidualHash != replayed.Mix[i].ResidualHash {
+			t.Errorf("cell %s: replay hash %s != recorded run hash %s",
+				recorded.Mix[i].Name, replayed.Mix[i].ResidualHash, recorded.Mix[i].ResidualHash)
+		}
+	}
+}
+
+// TestReplayGoldenFile replays the committed campaign: the per-cell
+// residual hashes pinned in testdata must reproduce on a live service.
+// Regenerate deliberately with: go test ./cmd/resload -run Golden -update
+func TestReplayGoldenFile(t *testing.T) {
+	golden := filepath.Join("testdata", "replay_golden.json")
+	url := loadTarget(t)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{
+			"-addr", url, "-n", "12", "-c", "2",
+			"-matrices", "poisson2d:100,tridiag:120", "-solvers", "cg,pcg", "-schemes", "abft-correction,unprotected",
+			"-record", golden, "-check", "-q",
+		}, io.Discard, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-addr", url, "-replay", golden, "-json", "-check", "-q"}, &stdout, io.Discard); err != nil {
+		t.Fatalf("golden replay diverged (intentional? regenerate with -update): %v", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(stdout.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replay.RecordedCells == 0 || rec.Replay.Mismatches != 0 {
+		t.Errorf("golden replay %+v, want recorded cells with 0 mismatches", rec.Replay)
+	}
+}
+
+func TestLoadCampaignRejectsBad(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := map[string]string{
+		"not json":    "{",
+		"bad schema":  `{"schema":99,"cells":[{"name":"x","request":{"matrix":{"gen":"poisson2d","n":16}}}]}`,
+		"no cells":    `{"schema":1,"cells":[]}`,
+		"bad request": `{"schema":1,"cells":[{"name":"x","request":{"solver":"warp","matrix":{"gen":"poisson2d","n":16}}}]}`,
+	}
+	for name, body := range cases {
+		if _, err := loadCampaign(write("bad.json", body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := loadCampaign(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
 	}
 }

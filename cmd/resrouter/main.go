@@ -1,0 +1,184 @@
+// Command resrouter is the sharded solve tier's front door: a
+// consistent-hash router over N resilientd shards, keyed on the same
+// per-matrix cache identity the shards key their artifact caches on, so
+// every matrix stays warm on exactly one shard.
+//
+//	resrouter -addr 127.0.0.1:8900 -topology shards.json
+//	resrouter -addr 127.0.0.1:8900 -spawn 3
+//
+// The topology file lists the shard set (see internal/router.Topology);
+// entries with an empty addr — and every shard under -spawn — are
+// spawned in-process on ephemeral ports, so a laptop can run a whole
+// sharded deployment from one command. POST /v1/solve routes by matrix
+// identity with health-checked failover to the next ring replica; GET
+// /routerz exposes the shard map, key distribution and per-shard
+// inflight/latency stats; GET /v1/healthz reports the router itself.
+// SIGINT/SIGTERM drain gracefully: the router refuses new solves,
+// in-flight forwards complete, then spawned shards drain in turn.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "resrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// spawnedShard is one in-process resilientd-equivalent: the service, its
+// listener-bound http.Server and the bound address.
+type spawnedShard struct {
+	name string
+	srv  *server.Server
+	hs   *http.Server
+	addr string
+}
+
+// run starts the router (and any spawned shards) and blocks until ctx is
+// cancelled or the listener fails. When started is non-nil it receives
+// the bound address once the listener is up.
+func run(ctx context.Context, args []string, stderr io.Writer, started chan<- net.Addr) error {
+	fs := flag.NewFlagSet("resrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", "127.0.0.1:8900", "listen address")
+		topoPath      = fs.String("topology", "", "JSON topology file naming the shard set")
+		spawn         = fs.Int("spawn", 0, "spawn this many in-process shards (instead of, or in addition to, -topology)")
+		workers       = fs.Int("workers", 0, "kernel pool size per spawned shard (resilientd -workers semantics)")
+		vnodes        = fs.Int("vnodes", router.DefaultVnodes, "virtual nodes per shard on the hash ring")
+		replicas      = fs.Int("replicas", 2, "distinct ring replicas a request may try (owner + failovers)")
+		probeInterval = fs.Duration("probe-interval", 2*time.Second, "active health-check period")
+		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe deadline")
+		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that eject a shard")
+		reqTimeout    = fs.Duration("timeout", 2*time.Minute, "forwarded-request deadline when the request names none")
+		quiet         = fs.Bool("q", false, "suppress startup and drain logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var topo router.Topology
+	if *topoPath != "" {
+		var err error
+		if topo, err = router.LoadTopology(*topoPath); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < *spawn; i++ {
+		topo.Shards = append(topo.Shards, router.Shard{Name: fmt.Sprintf("spawn%d", i)})
+	}
+	if len(topo.Shards) == 0 {
+		return fmt.Errorf("no shards: provide -topology and/or -spawn")
+	}
+
+	// Materialise the shard set: attach where an addr is given, spawn
+	// in-process where it is not.
+	var spawned []*spawnedShard
+	drainSpawned := func() {
+		for _, sp := range spawned {
+			sp.srv.StartDraining()
+			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			_ = sp.hs.Shutdown(sctx)
+			cancel()
+			sp.srv.Shutdown()
+		}
+	}
+	shards := make([]router.Shard, 0, len(topo.Shards))
+	for _, sh := range topo.Shards {
+		if sh.Addr != "" {
+			shards = append(shards, sh)
+			continue
+		}
+		srv := server.New(server.Config{Workers: *workers, ShardLabel: sh.Name})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Shutdown()
+			drainSpawned()
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		sp := &spawnedShard{name: sh.Name, srv: srv, hs: hs, addr: "http://" + ln.Addr().String()}
+		spawned = append(spawned, sp)
+		shards = append(shards, router.Shard{Name: sh.Name, Addr: sp.addr})
+	}
+
+	rt, err := router.New(router.Config{
+		Vnodes:         *vnodes,
+		Replicas:       *replicas,
+		ProbeInterval:  *probeInterval,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		RequestTimeout: *reqTimeout,
+	}, shards)
+	if err != nil {
+		drainSpawned()
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		rt.Shutdown()
+		drainSpawned()
+		return err
+	}
+	if started != nil {
+		started <- ln.Addr()
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "resrouter: listening on %s, %d shards:\n", ln.Addr(), len(shards))
+		for _, sh := range shards {
+			mode := "attached"
+			for _, sp := range spawned {
+				if sp.name == sh.Name {
+					mode = "spawned"
+				}
+			}
+			fmt.Fprintf(stderr, "resrouter:   %-12s %s (%s)\n", sh.Name, sh.Addr, mode)
+		}
+	}
+
+	hs := &http.Server{Handler: rt.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		rt.Shutdown()
+		drainSpawned()
+		return err
+	case <-ctx.Done():
+	}
+	if !*quiet {
+		fmt.Fprintln(stderr, "resrouter: draining")
+	}
+	// Drain outside-in: refuse new solves at the router, stop its
+	// listener so in-flight forwards deliver, then drain the router's
+	// forwards and finally the spawned shards' own queues.
+	rt.StartDraining()
+	sctx, cancel := context.WithTimeout(context.Background(), *reqTimeout)
+	defer cancel()
+	httpErr := hs.Shutdown(sctx)
+	rt.Shutdown()
+	drainSpawned()
+	if !*quiet {
+		fmt.Fprintln(stderr, "resrouter: drained")
+	}
+	return httpErr
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+// boot starts run() in the background and returns the bound base URL and
+// the done channel; the context cancel drives the drain path.
+func boot(t *testing.T, args []string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, args, io.Discard, started) }()
+	select {
+	case addr := <-started:
+		return "http://" + addr.String(), cancel, done
+	case err := <-done:
+		cancel()
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("listener did not come up")
+	}
+	panic("unreachable")
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// TestRunSpawnsAndRoutes boots a router that spawns its own shard set,
+// routes solves through it, inspects /routerz and drains on cancel.
+func TestRunSpawnsAndRoutes(t *testing.T) {
+	base, cancel, done := boot(t, []string{"-addr", "127.0.0.1:0", "-spawn", "2", "-workers", "1", "-q"})
+	defer cancel()
+
+	for _, n := range []string{"64", "100"} {
+		resp, raw := postJSON(t, base+"/v1/solve", `{"matrix":{"gen":"poisson2d","n":`+n+`},"seed":5}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("n=%s: status %d: %s", n, resp.StatusCode, raw)
+		}
+		var sr server.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Result.Converged != 1 || sr.Result.ResidualHash == "" || sr.Result.Shard == "" {
+			t.Errorf("n=%s: record converged=%d hash=%q shard=%q",
+				n, sr.Result.Converged, sr.Result.ResidualHash, sr.Result.Shard)
+		}
+		if shard := resp.Header.Get("X-Resilient-Shard"); shard != sr.Result.Shard {
+			t.Errorf("n=%s: header shard %q != record shard %q", n, shard, sr.Result.Shard)
+		}
+	}
+
+	rz, err := http.Get(base + "/routerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Body.Close()
+	var status router.RouterzResponse
+	if err := json.NewDecoder(rz.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Schema != router.SchemaVersion || len(status.Shards) != 2 || status.Routed != 2 {
+		t.Errorf("routerz %+v: want schema %d, 2 shards, 2 routed", status, router.SchemaVersion)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancel")
+	}
+}
+
+// TestRunAttachesTopology mixes an attached external shard with a
+// spawned one through a topology file.
+func TestRunAttachesTopology(t *testing.T) {
+	ext := server.New(server.Config{Workers: 1, ShardLabel: "external"})
+	ts := httptest.NewServer(ext.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ext.Shutdown()
+	})
+
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	blob, _ := json.Marshal(router.Topology{
+		Schema: router.TopologySchemaVersion,
+		Shards: []router.Shard{
+			{Name: "external", Addr: ts.URL},
+			{Name: "local"},
+		},
+	})
+	if err := os.WriteFile(topo, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cancel, done := boot(t, []string{"-addr", "127.0.0.1:0", "-topology", topo, "-workers", "1", "-q"})
+	defer cancel()
+
+	// Drive enough distinct matrices that both shards serve something.
+	served := map[string]bool{}
+	for n := 16; n <= 56; n += 4 {
+		resp, raw := postJSON(t, base+"/v1/solve",
+			`{"matrix":{"gen":"tridiag","n":`+jsonInt(n)+`},"seed":5}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("n=%d: status %d: %s", n, resp.StatusCode, raw)
+		}
+		served[resp.Header.Get("X-Resilient-Shard")] = true
+	}
+	if !served["external"] || !served["local"] {
+		t.Errorf("shard coverage %v, want both external and local", served)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain after cancel")
+	}
+}
+
+func jsonInt(n int) string {
+	raw, _ := json.Marshal(n)
+	return string(raw)
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-definitely-not-a-flag"},
+		{"-q"}, // no shards at all
+		{"-topology", "/nonexistent/topo.json"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, io.Discard, nil); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+
+	// A malformed topology must fail validation, not boot.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":1,"shards":[{"name":"a","addr":"not a url"}]}`), 0o644)
+	if err := run(context.Background(), []string{"-topology", bad}, io.Discard, nil); err == nil {
+		t.Error("malformed topology accepted")
+	}
+}
+
+func TestRunRejectsBusyAddress(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := run(context.Background(), []string{"-addr", ln.Addr().String(), "-spawn", "1", "-q"}, io.Discard, nil); err == nil {
+		t.Fatal("expected a listen error on a busy address")
+	}
+}

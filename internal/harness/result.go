@@ -83,8 +83,13 @@ type Result struct {
 	Overhead      float64 `json:"overhead,omitempty"`
 	BaselineError string  `json:"baseline_error,omitempty"`
 	// WallSeconds is the measured wall-clock time of the run — the only
-	// non-deterministic field.
+	// non-deterministic field besides Shard.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Shard is provenance, not content: the label of the service process
+	// that produced the record in a sharded deployment (empty outside
+	// one). After a failover the same scenario may legitimately be served
+	// by different shards, so Canonical ignores it.
+	Shard string `json:"shard,omitempty"`
 }
 
 // newResult aggregates the trial outcomes into a record.
@@ -167,6 +172,7 @@ func FormatHash(bits uint64) string {
 func (r Result) Canonical() Result {
 	r.WallSeconds = 0
 	r.Workers = 0
+	r.Shard = ""
 	return r
 }
 

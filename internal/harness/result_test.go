@@ -154,6 +154,14 @@ func TestMergeShards(t *testing.T) {
 	if err != nil || len(merged) != 1 {
 		t.Fatalf("wall-time-only difference must dedupe: %v, %v", merged, err)
 	}
+	// Same scenario served by two different shards (a failover): the
+	// shard label is provenance, not content — never a merge conflict.
+	r1, r2 = mk("a", 1), mk("a", 1)
+	r1.Shard, r2.Shard = "s0", "s2"
+	merged, err = Merge([]Result{r1}, []Result{r2})
+	if err != nil || len(merged) != 1 {
+		t.Fatalf("shard-only difference must dedupe: %v, %v", merged, err)
+	}
 }
 
 func TestHashHistory(t *testing.T) {

@@ -1,0 +1,182 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// realShard is a full resident solve service mounted as one shard.
+type realShard struct {
+	name string
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+func newRealShard(t *testing.T, name string) *realShard {
+	t.Helper()
+	s := server.New(server.Config{Workers: 1, Concurrency: 2, QueueDepth: 32, ShardLabel: name})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown()
+	})
+	return &realShard{name: name, srv: s, ts: ts}
+}
+
+func (s *realShard) kill() {
+	s.ts.CloseClientConnections()
+	s.ts.Close()
+}
+
+// routedSolve posts through the router and returns the full response.
+func routedSolve(t *testing.T, url string, req *server.SolveRequest) (server.SolveResponse, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed solve: status %d", resp.StatusCode)
+	}
+	var sr server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr, resp.Header.Get("X-Resilient-Shard")
+}
+
+// TestFailoverDeterminism is the sharded determinism gate, live: a mix
+// of matrices is served through the router over three real solve
+// services, one shard is killed, and every key must (1) keep answering,
+// (2) fail over to exactly its next ring replica while all other keys
+// stay put — the live minimal-disruption property — and (3) return
+// residual hashes bit-identical to before the kill and to direct,
+// router-less serving.
+func TestFailoverDeterminism(t *testing.T) {
+	shards := []*realShard{newRealShard(t, "s0"), newRealShard(t, "s1"), newRealShard(t, "s2")}
+	specs := make([]Shard, len(shards))
+	for i, s := range shards {
+		specs[i] = Shard{Name: s.name, Addr: s.ts.URL}
+	}
+	r, err := New(Config{ProbeInterval: time.Hour, FailThreshold: 3}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		rts.Close()
+		r.Shutdown()
+	})
+
+	// A direct, router-less reference service for the hash cross-check.
+	direct := newRealShard(t, "direct")
+
+	// Grow the matrix mix until every shard owns at least one key, so
+	// the kill below always has victims and survivors.
+	var reqs []*server.SolveRequest
+	var keys []string
+	owners := map[string]bool{}
+	for n := 64; n <= 400 && (len(reqs) < 8 || len(owners) < 3); n += 17 {
+		for _, gen := range []string{"poisson2d", "tridiag"} {
+			spec, err := harness.NewMatrixSpec(gen, n, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := &server.SolveRequest{Matrix: &spec, Seed: 7}
+			id, err := server.ResolveIdentity(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, req)
+			keys = append(keys, id.Key)
+			owners[r.ring.Lookup(id.Key)] = true
+		}
+	}
+	if len(owners) != 3 {
+		t.Fatalf("mix covers only shards %v; grow the cell set", owners)
+	}
+
+	// Phase 1: all healthy. Record placement and hashes.
+	hash1 := make([]string, len(reqs))
+	shard1 := make([]string, len(reqs))
+	for i, req := range reqs {
+		sr, shard := routedSolve(t, rts.URL, req)
+		if sr.SolveError != "" {
+			t.Fatalf("cell %d: solve error %s", i, sr.SolveError)
+		}
+		hash1[i] = sr.Result.ResidualHash
+		shard1[i] = shard
+		if want := r.ring.Lookup(keys[i]); shard != want {
+			t.Errorf("cell %d served by %s, ring owner is %s", i, shard, want)
+		}
+		if sr.Result.Shard != shard {
+			t.Errorf("cell %d: record provenance %q, routing header %q", i, sr.Result.Shard, shard)
+		}
+		// Cross-check against direct serving: the routed path must not
+		// perturb the solve.
+		dsr, _ := routedSolve(t, direct.ts.URL, req)
+		if dsr.Result.ResidualHash != hash1[i] {
+			t.Errorf("cell %d: routed hash %s != direct hash %s", i, hash1[i], dsr.Result.ResidualHash)
+		}
+	}
+
+	// Kill s1 mid-campaign, with requests in flight.
+	const victim = "s1"
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		shards[1].kill()
+	}()
+	// Phase 2: concurrent re-request of the full mix during/after the
+	// kill. Every request must still answer 200 with the same hash.
+	hash2 := make([]string, len(reqs))
+	shard2 := make([]string, len(reqs))
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req *server.SolveRequest) {
+			defer wg.Done()
+			sr, shard := routedSolve(t, rts.URL, req)
+			hash2[i], shard2[i] = sr.Result.ResidualHash, shard
+		}(i, req)
+	}
+	wg.Wait()
+
+	for i := range reqs {
+		if hash2[i] != hash1[i] {
+			t.Errorf("cell %d: hash changed across failover: %s -> %s", i, hash1[i], hash2[i])
+		}
+		if shard1[i] == victim {
+			want := r.ring.Successors(keys[i], 2)[1]
+			if shard2[i] != want {
+				t.Errorf("cell %d: victim's key served by %s, want next replica %s", i, shard2[i], want)
+			}
+		} else if shard2[i] != shard1[i] {
+			t.Errorf("cell %d: unaffected key moved %s -> %s (disruption beyond the dead shard)", i, shard1[i], shard2[i])
+		}
+	}
+
+	// Phase 3: steady state after the kill — hashes still identical.
+	for i, req := range reqs {
+		sr, shard := routedSolve(t, rts.URL, req)
+		if sr.Result.ResidualHash != hash1[i] {
+			t.Errorf("cell %d: post-failover hash %s != original %s", i, sr.Result.ResidualHash, hash1[i])
+		}
+		if shard == victim {
+			t.Errorf("cell %d still served by the dead shard", i)
+		}
+	}
+}

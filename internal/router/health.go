@@ -1,0 +1,193 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ewmaAlpha weights the latest latency sample in the per-shard EWMA:
+// heavy enough to track load shifts within a few probes, light enough
+// that one slow probe does not whipsaw the estimate.
+const ewmaAlpha = 0.3
+
+// shardState is everything the router knows about one shard: its place
+// in the topology plus the live health picture built from active probes
+// and passive per-request observations.
+type shardState struct {
+	name string
+	addr string // base URL, e.g. http://127.0.0.1:8723
+
+	mu sync.Mutex
+	// healthy gates routing: an unhealthy shard is skipped at candidate
+	// selection (still probed, and re-admitted on the next good probe).
+	// Shards start healthy — a router in front of a live shard set must
+	// route before the first probe round completes.
+	healthy bool
+	// probeFails counts consecutive active-probe failures; at
+	// FailThreshold the shard is ejected.
+	probeFails int
+	// passiveFails counts consecutive forwarded requests that died on
+	// transport or answered 5xx; at FailThreshold the circuit opens
+	// (healthy = false) until an active probe succeeds — the probe loop
+	// is the half-open path.
+	passiveFails int
+	ewmaMs       float64
+	lastErr      string
+	lastProbe    time.Time
+
+	inflight atomic.Int64
+	routed   atomic.Int64 // requests answered by this shard (any status)
+	errors   atomic.Int64 // transport failures + 5xx answers
+}
+
+func (s *shardState) isHealthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+func (s *shardState) observeLatency(d time.Duration) {
+	s.mu.Lock()
+	s.updateEWMALocked(d)
+	s.mu.Unlock()
+}
+
+// updateEWMALocked folds one latency sample in; the first sample seeds
+// the estimate. Callers hold s.mu.
+func (s *shardState) updateEWMALocked(d time.Duration) {
+	ms := float64(d) / 1e6
+	if s.ewmaMs == 0 {
+		s.ewmaMs = ms
+	} else {
+		s.ewmaMs = ewmaAlpha*ms + (1-ewmaAlpha)*s.ewmaMs
+	}
+}
+
+// noteProbe folds one active health-probe outcome in. A success
+// re-admits the shard immediately (and closes a passively-opened
+// circuit); failures eject it after threshold consecutive misses.
+func (s *shardState) noteProbe(ok bool, errText string, latency time.Duration, threshold int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastProbe = time.Now()
+	if ok {
+		s.probeFails = 0
+		s.passiveFails = 0
+		s.healthy = true
+		s.lastErr = ""
+		s.updateEWMALocked(latency)
+		return
+	}
+	s.probeFails++
+	s.lastErr = errText
+	if s.probeFails >= threshold {
+		s.healthy = false
+	}
+}
+
+// notePassive folds one forwarded-request outcome in: ok is "the shard
+// answered below 500". Consecutive failures open the circuit.
+func (s *shardState) notePassive(ok bool, errText string, threshold int) {
+	if ok {
+		s.mu.Lock()
+		s.passiveFails = 0
+		s.mu.Unlock()
+		return
+	}
+	s.errors.Add(1)
+	s.mu.Lock()
+	s.passiveFails++
+	s.lastErr = errText
+	if s.passiveFails >= threshold {
+		s.healthy = false
+	}
+	s.mu.Unlock()
+}
+
+// status snapshots the shard for /routerz.
+func (s *shardState) status(vnodes int) ShardStatus {
+	s.mu.Lock()
+	st := ShardStatus{
+		Name:                s.name,
+		Addr:                s.addr,
+		Healthy:             s.healthy,
+		ConsecutiveFailures: max(s.probeFails, s.passiveFails),
+		EWMALatencyMs:       s.ewmaMs,
+		LastError:           s.lastErr,
+		VNodes:              vnodes,
+	}
+	if !s.lastProbe.IsZero() {
+		st.LastProbeAgeSeconds = time.Since(s.lastProbe).Seconds()
+	}
+	s.mu.Unlock()
+	st.Inflight = s.inflight.Load()
+	st.Routed = s.routed.Load()
+	st.Errors = s.errors.Load()
+	return st
+}
+
+// probeLoop actively probes every shard each interval until stop closes.
+// Probes run concurrently so one hung shard cannot starve the others'
+// re-admission, and each round is awaited so loops never pile up.
+func (r *Router) probeLoop(t *time.Ticker) {
+	defer r.probing.Done()
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, s := range r.shards {
+		wg.Add(1)
+		go func(s *shardState) {
+			defer wg.Done()
+			r.probe(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// probe issues one active health check: a shard is up when /v1/healthz
+// answers 200 with status "ok" inside the probe timeout. A draining
+// shard reports itself unhealthy here on purpose — it refuses new solves
+// with 503, so routing must move its keys to the next replica now.
+func (r *Router) probe(s *shardState) {
+	req, err := http.NewRequest(http.MethodGet, s.addr+"/v1/healthz", nil)
+	if err != nil {
+		s.noteProbe(false, err.Error(), 0, r.cfg.FailThreshold)
+		return
+	}
+	ctx, cancel := contextWithTimeout(r.cfg.ProbeTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := r.client.Do(req.WithContext(ctx))
+	latency := time.Since(start)
+	if err != nil {
+		s.noteProbe(false, err.Error(), latency, r.cfg.FailThreshold)
+		return
+	}
+	defer resp.Body.Close()
+	var h server.HealthResponse
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		s.noteProbe(false, "healthz status "+resp.Status, latency, r.cfg.FailThreshold)
+	case json.NewDecoder(resp.Body).Decode(&h) != nil:
+		s.noteProbe(false, "healthz: undecodable body", latency, r.cfg.FailThreshold)
+	case h.Status != "ok":
+		s.noteProbe(false, "healthz status "+h.Status, latency, r.cfg.FailThreshold)
+	default:
+		s.noteProbe(true, "", latency, r.cfg.FailThreshold)
+	}
+}

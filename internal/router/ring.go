@@ -1,0 +1,149 @@
+// Package router implements the sharded solve tier: a consistent-hash
+// routing front end over N resilientd shards. Requests are keyed on the
+// same canonical matrix identity the solve service's artifact cache uses
+// (server.ResolveIdentity), so every matrix's artifacts — assembled CSR,
+// checksum encodings, partition plans, warm workspaces — stay warm on
+// exactly one shard and the cache scales horizontally.
+//
+// The pieces: Ring is a ketama-style hash ring with virtual nodes and
+// deterministic, minimal-disruption placement; Router is the reverse
+// proxy with per-request deadlines, retry of idempotent solves on the
+// next ring replica on connection failure, active /v1/healthz probing
+// (EWMA latency, consecutive-failure ejection, re-admission) and passive
+// circuit-breaking on 5xx; /routerz exposes the shard map and per-shard
+// stats as schema-versioned JSON.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// DefaultVnodes is the per-shard virtual node count: high enough that a
+// departing shard's keys spread over all survivors instead of dogpiling
+// one, low enough that a lookup's binary search stays trivial.
+const DefaultVnodes = 64
+
+// Ring is a ketama-style consistent-hash ring: each shard owns Vnodes
+// points placed by hashing "name#i" with the repository's FNV-1a family,
+// and a key routes to the shard owning the first point at or clockwise
+// after the key's hash. Placement is a pure function of the shard names
+// in the ring — insertion order, process and platform never matter — and
+// removing a shard moves only the keys it owned (the minimal-disruption
+// property, pinned by TestRingMinimalDisruption).
+//
+// Ring is not safe for concurrent mutation; Router guards it.
+type Ring struct {
+	vnodes int
+	shards map[string]bool
+	points []point // sorted by hash
+}
+
+type point struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// shard (≤ 0 selects DefaultVnodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	return &Ring{vnodes: vnodes, shards: make(map[string]bool)}
+}
+
+// Add inserts a shard's virtual nodes. Adding a present shard is a no-op.
+func (r *Ring) Add(shard string) {
+	if r.shards[shard] {
+		return
+	}
+	r.shards[shard] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: vnodeHash(shard, i), shard: shard})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full-hash collision between vnodes is vanishingly unlikely;
+		// break it by name so placement stays insertion-order independent.
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Remove deletes a shard's virtual nodes; only its keys change owner.
+func (r *Ring) Remove(shard string) {
+	if !r.shards[shard] {
+		return
+	}
+	delete(r.shards, shard)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.shard != shard {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Shards returns the member names, sorted.
+func (r *Ring) Shards() []string {
+	out := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of member shards.
+func (r *Ring) Len() int { return len(r.shards) }
+
+// KeyHash is the position of a routing key on the ring.
+func KeyHash(key string) uint64 { return sparse.FNV1aString(key) }
+
+func vnodeHash(shard string, i int) uint64 {
+	return sparse.FNV1aString(fmt.Sprintf("%s#%d", shard, i))
+}
+
+// Lookup returns the shard owning the key, or "" on an empty ring.
+func (r *Ring) Lookup(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.at(KeyHash(key))].shard
+}
+
+// Successors returns up to n distinct shards in ring order starting at
+// the key's owner — the failover sequence: if the owner is unreachable,
+// the next replica serves (and re-warms) the key.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.at(KeyHash(key)); len(out) < n && i < len(r.points); i++ {
+		s := r.points[(start+i)%len(r.points)].shard
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// at finds the index of the first point at or clockwise after h.
+func (r *Ring) at(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

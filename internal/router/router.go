@@ -1,0 +1,488 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// SchemaVersion identifies the /routerz layout. Bump on incompatible
+// changes.
+const SchemaVersion = 1
+
+// maxBodyBytes mirrors the shard-side request bound.
+const maxBodyBytes = 64 << 20
+
+// maxTrackedKeys bounds the distinct-key distribution kept for /routerz;
+// once full, unseen keys are no longer tracked — /routerz then reports
+// the distribution as saturated and its distinct count as a floor.
+const maxTrackedKeys = 4096
+
+// Config parameterises the router. Zero values select the defaults.
+type Config struct {
+	// Vnodes is the virtual-node count per shard (default DefaultVnodes).
+	Vnodes int
+	// Replicas is how many distinct ring successors a request may try:
+	// the key's owner plus Replicas−1 failover candidates (default 2).
+	Replicas int
+	// ProbeInterval paces the active health checks (default 2s);
+	// ProbeTimeout bounds each probe (default 1s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailThreshold ejects a shard after this many consecutive probe
+	// failures, and opens the passive circuit after this many
+	// consecutive forwarded-request failures (default 3).
+	FailThreshold int
+	// RequestTimeout bounds a forwarded solve when the request names no
+	// deadline of its own (default 2m). Requests carrying timeout_ms get
+	// that deadline plus scheduling slack instead.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes <= 0 {
+		c.Vnodes = DefaultVnodes
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Shard names one routing target: a unique label and the base URL of a
+// resilientd process.
+type Shard struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// Router is the consistent-hash routing tier. Construct with New, mount
+// Handler, Shutdown to drain.
+type Router struct {
+	cfg    Config
+	client *http.Client
+
+	ringMu sync.RWMutex
+	ring   *Ring
+	shards map[string]*shardState
+
+	keysMu sync.Mutex
+	keys   map[uint64]string // key hash -> owning shard at first routing
+
+	mux     *http.ServeMux
+	started time.Time
+	// drainMu orders solve admission against StartDraining: an admission
+	// holds the read side while it checks draining and registers with
+	// inflight, so once StartDraining returns, no new inflight.Add can
+	// race Shutdown's inflight.Wait at zero.
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	stopOnce sync.Once
+	stop     chan struct{}
+	probing  sync.WaitGroup
+
+	routed     atomic.Int64
+	failovers  atomic.Int64
+	unroutable atomic.Int64
+}
+
+// New builds a router over the shard set and starts its health prober.
+// Shards start healthy (optimistic admission); the prober ejects dead
+// ones within FailThreshold probe intervals.
+func New(cfg Config, shards []Shard) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(shards) == 0 {
+		return nil, errors.New("router: empty shard set")
+	}
+	r := &Router{
+		cfg:     cfg,
+		client:  &http.Client{},
+		ring:    NewRing(cfg.Vnodes),
+		shards:  make(map[string]*shardState, len(shards)),
+		keys:    make(map[uint64]string),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+	}
+	for _, sh := range shards {
+		if sh.Name == "" || sh.Addr == "" {
+			return nil, fmt.Errorf("router: shard needs both name and addr (got %+v)", sh)
+		}
+		if _, dup := r.shards[sh.Name]; dup {
+			return nil, fmt.Errorf("router: duplicate shard name %q", sh.Name)
+		}
+		r.shards[sh.Name] = &shardState{name: sh.Name, addr: sh.Addr, healthy: true}
+		r.ring.Add(sh.Name)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", r.handleSolve)
+	mux.HandleFunc("/routerz", r.handleRouterz)
+	mux.HandleFunc("/v1/healthz", r.handleHealthz)
+	r.mux = mux
+	r.probing.Add(1)
+	go r.probeLoop(time.NewTicker(cfg.ProbeInterval))
+	return r, nil
+}
+
+// Handler returns the HTTP API: /v1/solve (routed), /routerz, /v1/healthz.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// StartDraining refuses new solves with 503 without blocking.
+func (r *Router) StartDraining() {
+	r.drainMu.Lock()
+	r.draining.Store(true)
+	r.drainMu.Unlock()
+}
+
+// Shutdown drains: new solves are refused, in-flight forwards complete,
+// the prober stops. Idempotent.
+func (r *Router) Shutdown() {
+	r.StartDraining()
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.probing.Wait()
+	r.inflight.Wait()
+	r.client.CloseIdleConnections()
+}
+
+// candidates returns the failover sequence for a key: up to Replicas
+// distinct ring successors, healthy shards first (in ring order), then —
+// only if every candidate is ejected — the unhealthy ones anyway, so a
+// fully-ejected shard set degrades to optimistic forwarding instead of
+// refusing outright.
+func (r *Router) candidates(key string) []*shardState {
+	r.ringMu.RLock()
+	names := r.ring.Successors(key, r.cfg.Replicas)
+	out := make([]*shardState, 0, len(names))
+	var down []*shardState
+	for _, n := range names {
+		if s := r.shards[n]; s != nil {
+			if s.isHealthy() {
+				out = append(out, s)
+			} else {
+				down = append(down, s)
+			}
+		}
+	}
+	r.ringMu.RUnlock()
+	return append(out, down...)
+}
+
+// trackKey attributes a routed key to the shard that served it, for the
+// /routerz distribution (bounded; drops attribution past the cap).
+func (r *Router) trackKey(key string, shard string) {
+	h := KeyHash(key)
+	r.keysMu.Lock()
+	if _, ok := r.keys[h]; ok || len(r.keys) < maxTrackedKeys {
+		r.keys[h] = shard
+	}
+	r.keysMu.Unlock()
+}
+
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	r.drainMu.RLock()
+	if r.draining.Load() {
+		r.drainMu.RUnlock()
+		respondErr(w, http.StatusServiceUnavailable, errors.New("router: shutting down"))
+		return
+	}
+	r.inflight.Add(1)
+	r.drainMu.RUnlock()
+	defer r.inflight.Done()
+
+	// The body is read whole up front: the routing key comes out of it,
+	// and a retry on the next replica needs to resend it bit-identically.
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err != nil {
+		respondErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	var sreq server.SolveRequest
+	if err := json.Unmarshal(body, &sreq); err != nil {
+		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	sreq.WithDefaults()
+	if err := sreq.Validate(); err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The routing key is the shard-side cache identity, so a matrix's
+	// artifacts warm exactly one shard.
+	id, err := server.ResolveIdentity(&sreq)
+	if err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cands := r.candidates(id.Key)
+	if len(cands) == 0 {
+		r.unroutable.Add(1)
+		respondErr(w, http.StatusBadGateway, errors.New("router: no shard available"))
+		return
+	}
+
+	timeout := r.cfg.RequestTimeout
+	if sreq.TimeoutMillis > 0 {
+		// Respect the request's own deadline plus forwarding slack; the
+		// shard still enforces the precise one.
+		timeout = time.Duration(sreq.TimeoutMillis)*time.Millisecond + 15*time.Second
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	defer cancel()
+
+	var lastErr error
+	for i, s := range cands {
+		if i > 0 {
+			r.failovers.Add(1)
+		}
+		done, err := r.forward(ctx, w, s, body, i > 0)
+		if done {
+			r.routed.Add(1)
+			r.trackKey(id.Key, s.name)
+			return
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	r.unroutable.Add(1)
+	code := http.StatusBadGateway
+	switch {
+	case ctx.Err() != nil:
+		code = http.StatusGatewayTimeout
+	case errors.Is(lastErr, errSaturated):
+		// Every candidate was merely full: relay the backpressure as the
+		// 429 a single shard would have answered.
+		code = http.StatusTooManyRequests
+	}
+	respondErr(w, code, fmt.Errorf("router: all %d candidate shards failed, last: %w", len(cands), lastErr))
+}
+
+// errSaturated marks a 429 refusal: retryable on the next replica, and
+// relayed as 429 (not 502) when every candidate refuses.
+var errSaturated = errors.New("shard queue saturated (429)")
+
+// forward sends the solve to one shard. It returns done=true when a
+// response was relayed to the client; false with the cause means the
+// next replica should be tried: the solve is deterministic and
+// idempotent, so retrying is always safe when the shard could not take
+// the request — a connection failure, a 503 (draining) or a 429 (queue
+// saturated; the replica can absorb the burst). Responses the shard
+// actually computed — 200s, validation 4xxs, solver 5xxs — are relayed,
+// not retried: the next shard would compute the identical answer.
+func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, body []byte, isRetry bool) (bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	s.inflight.Add(1)
+	start := time.Now()
+	resp, err := r.client.Do(hreq)
+	latency := time.Since(start)
+	s.inflight.Add(-1)
+	if err != nil {
+		// A deadline or client disconnect shows up here as a context
+		// error: that says nothing about the shard's health, so it must
+		// not feed the circuit breaker.
+		if ctx.Err() == nil {
+			s.notePassive(false, err.Error(), r.cfg.FailThreshold)
+		}
+		return false, err
+	}
+	defer resp.Body.Close()
+	s.routed.Add(1)
+	s.observeLatency(latency)
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		// Draining or refusing: the next replica can serve this key.
+		io.Copy(io.Discard, resp.Body)
+		s.notePassive(false, "shard answered 503", r.cfg.FailThreshold)
+		return false, fmt.Errorf("%s: 503 from shard", s.name)
+	case http.StatusTooManyRequests:
+		// Saturated, not sick: spill to the replica without feeding the
+		// circuit breaker. Backpressure reaches the client only when
+		// every candidate refuses.
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("%s: %w", s.name, errSaturated)
+	}
+	// Buffer the body before relaying: once headers go to the client the
+	// request cannot fail over, so a connection that dies mid-body (the
+	// shard was killed while answering) must surface here — before
+	// anything was written — and be retried on the next replica.
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		s.notePassive(false, err.Error(), r.cfg.FailThreshold)
+		return false, fmt.Errorf("%s: reading shard response: %w", s.name, err)
+	}
+	s.notePassive(resp.StatusCode < 500, "shard answered "+resp.Status, r.cfg.FailThreshold)
+
+	h := w.Header()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		h.Set("Content-Type", ct)
+	}
+	h.Set("X-Resilient-Shard", s.name)
+	if isRetry {
+		h.Set("X-Resilient-Failover", "true")
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(payload)
+	return true, nil
+}
+
+func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	r.ringMu.RLock()
+	names := r.ring.Shards()
+	statuses := make([]ShardStatus, 0, len(names))
+	healthy := 0
+	for _, n := range names {
+		st := r.shards[n].status(r.cfg.Vnodes)
+		if st.Healthy {
+			healthy++
+		}
+		statuses = append(statuses, st)
+	}
+	r.ringMu.RUnlock()
+
+	perShard := make(map[string]int, len(names))
+	r.keysMu.Lock()
+	distinct := len(r.keys)
+	for _, shard := range r.keys {
+		perShard[shard]++
+	}
+	r.keysMu.Unlock()
+
+	writeJSON(w, http.StatusOK, RouterzResponse{
+		Schema:        SchemaVersion,
+		UptimeSeconds: time.Since(r.started).Seconds(),
+		Vnodes:        r.cfg.Vnodes,
+		Replicas:      r.cfg.Replicas,
+		Draining:      r.draining.Load(),
+		Shards:        statuses,
+		HealthyShards: healthy,
+		Routed:        r.routed.Load(),
+		Failovers:     r.failovers.Load(),
+		Unroutable:    r.unroutable.Load(),
+		Keys: KeyDistribution{
+			Distinct:  distinct,
+			Saturated: distinct >= maxTrackedKeys,
+			PerShard:  perShard,
+		},
+	})
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	status := "ok"
+	if r.draining.Load() {
+		status = "draining"
+	}
+	healthy := 0
+	r.ringMu.RLock()
+	for _, s := range r.shards {
+		if s.isHealthy() {
+			healthy++
+		}
+	}
+	total := len(r.shards)
+	r.ringMu.RUnlock()
+	writeJSON(w, http.StatusOK, RouterHealth{
+		Schema:        SchemaVersion,
+		Status:        status,
+		HealthyShards: healthy,
+		TotalShards:   total,
+	})
+}
+
+// RouterzResponse is the body of GET /routerz.
+type RouterzResponse struct {
+	Schema        int           `json:"schema"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Vnodes        int           `json:"vnodes"`
+	Replicas      int           `json:"replicas"`
+	Draining      bool          `json:"draining"`
+	Shards        []ShardStatus `json:"shards"`
+	HealthyShards int           `json:"healthy_shards"`
+	// Routed counts requests answered through the ring; Failovers counts
+	// attempts past a key's owner; Unroutable counts requests every
+	// candidate failed.
+	Routed     int64           `json:"routed"`
+	Failovers  int64           `json:"failovers"`
+	Unroutable int64           `json:"unroutable"`
+	Keys       KeyDistribution `json:"keys"`
+}
+
+// ShardStatus is one shard's live picture in /routerz.
+type ShardStatus struct {
+	Name                string  `json:"name"`
+	Addr                string  `json:"addr"`
+	Healthy             bool    `json:"healthy"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	EWMALatencyMs       float64 `json:"ewma_latency_ms"`
+	LastError           string  `json:"last_error,omitempty"`
+	LastProbeAgeSeconds float64 `json:"last_probe_age_seconds,omitempty"`
+	Inflight            int64   `json:"inflight"`
+	Routed              int64   `json:"routed"`
+	Errors              int64   `json:"errors"`
+	VNodes              int     `json:"vnodes"`
+}
+
+// KeyDistribution reports how many distinct routing keys this router has
+// seen and which shard each landed on. Tracking is bounded at
+// maxTrackedKeys: when Saturated is true, Distinct is a floor and keys
+// beyond the bound are unattributed.
+type KeyDistribution struct {
+	Distinct  int            `json:"distinct"`
+	Saturated bool           `json:"saturated,omitempty"`
+	PerShard  map[string]int `json:"per_shard"`
+}
+
+// RouterHealth is the body of the router's own GET /v1/healthz.
+type RouterHealth struct {
+	Schema        int    `json:"schema"`
+	Status        string `json:"status"`
+	HealthyShards int    `json:"healthy_shards"`
+	TotalShards   int    `json:"total_shards"`
+}
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func respondErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, server.ErrorResponse{Schema: server.SchemaVersion, Error: err.Error()})
+}

@@ -1,0 +1,441 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// fakeShard is a minimal shard-API stand-in: it answers /v1/solve with a
+// canned body naming itself and /v1/healthz with a settable status, and
+// records which requests it served.
+type fakeShard struct {
+	name string
+	ts   *httptest.Server
+
+	mu      sync.Mutex
+	served  int
+	healthy bool
+	code    int // /v1/solve status to answer (0 = 200)
+}
+
+func newFakeShard(t *testing.T, name string) *fakeShard {
+	t.Helper()
+	f := &fakeShard{name: name, healthy: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.served++
+		code := f.code
+		f.mu.Unlock()
+		if code != 0 {
+			w.WriteHeader(code)
+			fmt.Fprintf(w, `{"schema":1,"error":"injected %d"}`, code)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"schema":1,"served_by":%q}`, f.name)
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		ok := f.healthy
+		f.mu.Unlock()
+		status := "ok"
+		if !ok {
+			status = "draining"
+		}
+		json.NewEncoder(w).Encode(server.HealthResponse{Schema: server.SchemaVersion, Status: status})
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fakeShard) setHealthy(ok bool) {
+	f.mu.Lock()
+	f.healthy = ok
+	f.mu.Unlock()
+}
+
+func (f *fakeShard) setSolveCode(code int) {
+	f.mu.Lock()
+	f.code = code
+	f.mu.Unlock()
+}
+
+func (f *fakeShard) servedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.served
+}
+
+func testRouter(t *testing.T, cfg Config, fakes ...*fakeShard) (*Router, *httptest.Server) {
+	t.Helper()
+	shards := make([]Shard, len(fakes))
+	for i, f := range fakes {
+		shards[i] = Shard{Name: f.name, Addr: f.ts.URL}
+	}
+	r, err := New(cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		r.Shutdown()
+	})
+	return r, ts
+}
+
+func solveBody(t *testing.T, gen string, n int) []byte {
+	t.Helper()
+	spec, err := harness.NewMatrixSpec(gen, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(server.SolveRequest{Matrix: &spec, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postRouted posts a solve body and returns status, the serving shard
+// (from the routing header) and the decoded served_by field.
+func postRouted(t *testing.T, url string, body []byte) (int, string, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ServedBy string `json:"served_by"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, resp.Header.Get("X-Resilient-Shard"), out.ServedBy
+}
+
+// TestRouterAffinity pins cache affinity: every request for the same
+// matrix identity lands on the same shard, and the shard matches the
+// ring's deterministic placement.
+func TestRouterAffinity(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1"), newFakeShard(t, "s2")}
+	r, ts := testRouter(t, Config{ProbeInterval: time.Hour}, fakes...)
+
+	sizes := []int{16, 25, 36, 49, 64, 81, 100}
+	for _, n := range sizes {
+		body := solveBody(t, "poisson2d", n)
+		spec, _ := harness.NewMatrixSpec("poisson2d", n, 0)
+		id, err := server.ResolveIdentity(&server.SolveRequest{Matrix: &spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := r.ring.Lookup(id.Key)
+		for rep := 0; rep < 3; rep++ {
+			code, shard, served := postRouted(t, ts.URL, body)
+			if code != http.StatusOK {
+				t.Fatalf("n=%d rep %d: status %d", n, rep, code)
+			}
+			if shard != want || served != want {
+				t.Errorf("n=%d rep %d: served by %s/%s, ring says %s", n, rep, shard, served, want)
+			}
+		}
+	}
+}
+
+// TestRouterFailoverOnConnectionFailure kills a shard outright: requests
+// for its keys must fail over to the next ring replica and succeed, the
+// failover is marked, and after FailThreshold passive failures the dead
+// shard is ejected so later requests skip the doomed attempt.
+func TestRouterFailoverOnConnectionFailure(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1"), newFakeShard(t, "s2")}
+	r, ts := testRouter(t, Config{ProbeInterval: time.Hour, FailThreshold: 2}, fakes...)
+
+	// Find a matrix size owned by s1 so the kill is targeted.
+	var body []byte
+	var key string
+	for n := 16; n < 400; n++ {
+		spec, _ := harness.NewMatrixSpec("tridiag", n, 0)
+		id, err := server.ResolveIdentity(&server.SolveRequest{Matrix: &spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.ring.Lookup(id.Key) == "s1" {
+			req := server.SolveRequest{Matrix: &spec, Seed: 7}
+			body, _ = json.Marshal(req)
+			key = id.Key
+			break
+		}
+	}
+	if body == nil {
+		t.Fatal("no tridiag size maps to s1")
+	}
+	wantFailover := r.ring.Successors(key, 2)[1]
+
+	fakes[1].ts.Close() // connection refused from now on
+
+	for rep := 0; rep < 3; rep++ {
+		code, shard, _ := postRouted(t, ts.URL, body)
+		if code != http.StatusOK {
+			t.Fatalf("rep %d: status %d, want failover success", rep, code)
+		}
+		if shard != wantFailover {
+			t.Errorf("rep %d: served by %s, want next replica %s", rep, shard, wantFailover)
+		}
+	}
+	// Two consecutive connection failures tripped the passive circuit.
+	if r.shards["s1"].isHealthy() {
+		t.Error("dead shard still marked healthy after threshold passive failures")
+	}
+	if got := r.failovers.Load(); got < 2 {
+		t.Errorf("failovers = %d, want ≥ 2", got)
+	}
+}
+
+// TestRouterRetriesDrainingShard pins 503 failover: a draining shard
+// refuses new solves with 503, which must be retried on the next
+// replica, not relayed to the client.
+func TestRouterRetriesDrainingShard(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1")}
+	_, ts := testRouter(t, Config{ProbeInterval: time.Hour}, fakes...)
+
+	body := solveBody(t, "poisson2d", 36)
+	_, owner, _ := postRouted(t, ts.URL, body)
+	var ownerFake, otherFake *fakeShard
+	for _, f := range fakes {
+		if f.name == owner {
+			ownerFake = f
+		} else {
+			otherFake = f
+		}
+	}
+	ownerFake.setSolveCode(http.StatusServiceUnavailable)
+
+	code, shard, _ := postRouted(t, ts.URL, body)
+	if code != http.StatusOK || shard != otherFake.name {
+		t.Fatalf("draining owner: status %d from %q, want 200 from %q", code, shard, otherFake.name)
+	}
+}
+
+// TestRouterSpillsSaturatedShard pins 429 handling: a saturated owner
+// spills to the next replica without tripping the circuit breaker, and
+// when every candidate is saturated the client gets the 429 back.
+func TestRouterSpillsSaturatedShard(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1")}
+	r, ts := testRouter(t, Config{ProbeInterval: time.Hour, FailThreshold: 2}, fakes...)
+
+	body := solveBody(t, "poisson2d", 25)
+	_, owner, _ := postRouted(t, ts.URL, body)
+	var ownerFake, otherFake *fakeShard
+	for _, f := range fakes {
+		if f.name == owner {
+			ownerFake = f
+		} else {
+			otherFake = f
+		}
+	}
+	ownerFake.setSolveCode(http.StatusTooManyRequests)
+
+	for rep := 0; rep < 3; rep++ {
+		code, shard, _ := postRouted(t, ts.URL, body)
+		if code != http.StatusOK || shard != otherFake.name {
+			t.Fatalf("rep %d: status %d from %q, want spill to %q", rep, code, shard, otherFake.name)
+		}
+	}
+	// Saturation is load, not sickness: the owner must stay healthy.
+	if !r.shards[owner].isHealthy() {
+		t.Error("saturated shard tripped the circuit breaker")
+	}
+
+	// Both candidates saturated: the backpressure reaches the client as
+	// the 429 a single shard would have answered.
+	otherFake.setSolveCode(http.StatusTooManyRequests)
+	code, _, _ := postRouted(t, ts.URL, body)
+	if code != http.StatusTooManyRequests {
+		t.Errorf("fully saturated tier answered %d, want 429", code)
+	}
+}
+
+// TestRouterRelaysShardErrors pins the no-retry cases: an answer the
+// shard actually computed — including a 400 — is relayed verbatim, not
+// re-asked of another replica that would answer identically.
+func TestRouterRelaysShardErrors(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1")}
+	_, ts := testRouter(t, Config{ProbeInterval: time.Hour}, fakes...)
+
+	body := solveBody(t, "poisson2d", 49)
+	_, owner, _ := postRouted(t, ts.URL, body)
+	for _, f := range fakes {
+		if f.name == owner {
+			f.setSolveCode(http.StatusInternalServerError)
+		}
+	}
+	before := 0
+	for _, f := range fakes {
+		before += f.servedCount()
+	}
+	code, shard, _ := postRouted(t, ts.URL, body)
+	if code != http.StatusInternalServerError || shard != owner {
+		t.Fatalf("shard 500: relayed status %d from %q, want 500 from owner %q", code, shard, owner)
+	}
+	after := 0
+	for _, f := range fakes {
+		after += f.servedCount()
+	}
+	if after != before+1 {
+		t.Errorf("a computed 500 was retried: %d shard hits for one request", after-before)
+	}
+}
+
+// TestRouterProbeEjectionAndReadmission drives the active health checks:
+// a shard whose healthz goes unhealthy is ejected within the failure
+// threshold and re-admitted after one good probe.
+func TestRouterProbeEjectionAndReadmission(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1")}
+	r, _ := testRouter(t, Config{
+		ProbeInterval: 10 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		FailThreshold: 3,
+	}, fakes...)
+
+	fakes[0].setHealthy(false)
+	waitFor(t, func() bool { return !r.shards["s0"].isHealthy() })
+
+	fakes[0].setHealthy(true)
+	waitFor(t, func() bool { return r.shards["s0"].isHealthy() })
+
+	st := r.shards["s0"].status(r.cfg.Vnodes)
+	if st.EWMALatencyMs <= 0 {
+		t.Errorf("probe latency EWMA not tracked: %+v", st)
+	}
+}
+
+// TestRouterzEndpoint pins the /routerz schema and its shard map.
+func TestRouterzEndpoint(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0"), newFakeShard(t, "s1"), newFakeShard(t, "s2")}
+	_, ts := testRouter(t, Config{ProbeInterval: time.Hour}, fakes...)
+
+	for _, n := range []int{16, 25, 36, 49} {
+		if code, _, _ := postRouted(t, ts.URL, solveBody(t, "poisson2d", n)); code != http.StatusOK {
+			t.Fatalf("n=%d: status %d", n, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/routerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz RouterzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	if rz.Schema != SchemaVersion || len(rz.Shards) != 3 || rz.HealthyShards != 3 {
+		t.Errorf("routerz %+v: want schema %d, 3 healthy shards", rz, SchemaVersion)
+	}
+	if rz.Routed != 4 || rz.Keys.Distinct != 4 {
+		t.Errorf("routed=%d distinct keys=%d, want 4 and 4", rz.Routed, rz.Keys.Distinct)
+	}
+	total := 0
+	for _, c := range rz.Keys.PerShard {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("per-shard key counts sum to %d, want 4: %v", total, rz.Keys.PerShard)
+	}
+	names := map[string]bool{}
+	for _, s := range rz.Shards {
+		names[s.Name] = true
+		if s.VNodes != DefaultVnodes {
+			t.Errorf("shard %s vnodes=%d, want %d", s.Name, s.VNodes, DefaultVnodes)
+		}
+	}
+	if !names["s0"] || !names["s1"] || !names["s2"] {
+		t.Errorf("shard map incomplete: %v", names)
+	}
+
+	hz, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var h RouterHealth
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.HealthyShards != 3 || h.TotalShards != 3 {
+		t.Errorf("router health %+v", h)
+	}
+}
+
+// TestRouterValidation pins edge rejections: malformed requests are
+// answered at the router without touching any shard, and a draining
+// router refuses with 503.
+func TestRouterValidation(t *testing.T) {
+	fakes := []*fakeShard{newFakeShard(t, "s0")}
+	r, ts := testRouter(t, Config{ProbeInterval: time.Hour}, fakes...)
+
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"not json", "{", http.StatusBadRequest},
+		{"no matrix", `{"solver":"cg"}`, http.StatusBadRequest},
+		{"unknown solver", `{"matrix":{"gen":"poisson2d","n":16},"solver":"magic"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var er server.ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&er)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code || er.Error == "" {
+			t.Errorf("%s: status %d (err %q), want %d with an error body", tc.name, resp.StatusCode, er.Error, tc.code)
+		}
+	}
+	if got := fakes[0].servedCount(); got != 0 {
+		t.Errorf("invalid requests reached the shard %d times", got)
+	}
+
+	r.StartDraining()
+	code, _, _ := postRouted(t, ts.URL, solveBody(t, "poisson2d", 16))
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining router answered %d, want 503", code)
+	}
+}
+
+func TestRouterNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("empty shard set accepted")
+	}
+	if _, err := New(Config{}, []Shard{{Name: "a"}}); err == nil {
+		t.Error("shard without addr accepted")
+	}
+	if _, err := New(Config{}, []Shard{
+		{Name: "a", Addr: "http://x"}, {Name: "a", Addr: "http://y"},
+	}); err == nil {
+		t.Error("duplicate shard name accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

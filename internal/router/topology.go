@@ -1,0 +1,73 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+)
+
+// TopologySchemaVersion identifies the topology file layout.
+const TopologySchemaVersion = 1
+
+// Topology is the JSON shard-set description resrouter consumes:
+//
+//	{
+//	  "schema": 1,
+//	  "shards": [
+//	    {"name": "s0", "addr": "http://127.0.0.1:9000"},
+//	    {"name": "s1", "addr": ""}
+//	  ]
+//	}
+//
+// A shard with an addr attaches to a running resilientd; a shard with an
+// empty addr is spawned in-process by resrouter on an ephemeral port.
+type Topology struct {
+	Schema int     `json:"schema"`
+	Shards []Shard `json:"shards"`
+}
+
+// Validate rejects malformed topologies: unknown schema, no shards,
+// duplicate or empty names, unparseable addresses.
+func (t *Topology) Validate() error {
+	if t.Schema != 0 && t.Schema != TopologySchemaVersion {
+		return fmt.Errorf("topology: unsupported schema %d (want %d)", t.Schema, TopologySchemaVersion)
+	}
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("topology: no shards")
+	}
+	seen := make(map[string]bool, len(t.Shards))
+	for i, sh := range t.Shards {
+		if sh.Name == "" {
+			return fmt.Errorf("topology: shard %d has no name", i)
+		}
+		if seen[sh.Name] {
+			return fmt.Errorf("topology: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		if sh.Addr == "" {
+			continue // spawned in-process by resrouter
+		}
+		u, err := url.Parse(sh.Addr)
+		if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+			return fmt.Errorf("topology: shard %q: addr %q is not an http(s) base URL", sh.Name, sh.Addr)
+		}
+	}
+	return nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (Topology, error) {
+	var t Topology
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return t, fmt.Errorf("topology %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return t, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

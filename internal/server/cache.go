@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -24,62 +25,174 @@ const (
 
 // cache is the per-matrix artifact cache: an LRU of entries keyed by the
 // canonical matrix identity (the spec's JSON for named matrices, the
-// content fingerprint for inline ones). Eviction only drops references —
-// requests holding an evicted entry finish on it undisturbed.
+// content fingerprint for inline ones). Admission is bounded twice — by
+// entry count and by the estimated memory footprint of the resident
+// matrices — and entries idle past the TTL age out on a background
+// sweeper. Eviction only drops references — requests holding an evicted
+// entry finish on it undisturbed.
 type cache struct {
-	mu        sync.Mutex
-	capacity  int
-	entries   map[string]*list.Element
-	ll        *list.List // of *entry; front = most recently used
-	hits      int64
-	misses    int64
-	evictions int64
+	mu           sync.Mutex
+	capacity     int
+	bytesCap     int64 // ≤ 0 = unbounded
+	ttl          time.Duration
+	bytes        int64
+	entries      map[string]*list.Element
+	ll           *list.List // of *entry; front = most recently used
+	hits         int64
+	misses       int64
+	evictions    int64
+	ttlEvictions int64
+
+	closeOnce sync.Once
+	stop      chan struct{}
+	sweeping  sync.WaitGroup
 }
 
-func newCache(capacity int) *cache {
+func newCache(capacity int, bytesCap int64, ttl time.Duration) *cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &cache{
+	c := &cache{
 		capacity: capacity,
+		bytesCap: bytesCap,
+		ttl:      ttl,
 		entries:  make(map[string]*list.Element),
 		ll:       list.New(),
+		stop:     make(chan struct{}),
+	}
+	if ttl > 0 {
+		// Sweep well inside the TTL so an idle entry overstays by at most
+		// ~25%, without ticking hot enough to matter. The ticker is built
+		// here, not in the goroutine, so the sweeper performs all its
+		// setup allocation before newCache returns (the warm solve path is
+		// gated at zero allocations process-wide).
+		tick := ttl / 4
+		if tick < time.Second {
+			tick = time.Second
+		}
+		c.sweeping.Add(1)
+		go c.sweepLoop(time.NewTicker(tick))
+	}
+	return c
+}
+
+func (c *cache) sweepLoop(t *time.Ticker) {
+	defer c.sweeping.Done()
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.sweepOnce(now)
+		}
 	}
 }
 
+// sweepOnce ages out every entry idle longer than the TTL. The LRU order
+// makes this a walk from the back that stops at the first fresh entry.
+func (c *cache) sweepOnce(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		if now.Sub(e.lastUsed) <= c.ttl {
+			return
+		}
+		c.removeLocked(back)
+		c.ttlEvictions++
+	}
+}
+
+// close stops the TTL sweeper. Idempotent.
+func (c *cache) close() {
+	c.closeOnce.Do(func() { close(c.stop) })
+	c.sweeping.Wait()
+}
+
 // get returns the entry for key, creating an unmaterialised skeleton on a
-// miss and evicting least-recently-used entries beyond capacity. The
-// second result reports whether the entry already existed.
+// miss and evicting least-recently-used entries beyond the count or byte
+// budget. The second result reports whether the entry already existed.
 func (c *cache) get(key, label string, spec harness.MatrixSpec) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.lastUsed = time.Now()
 		c.hits++
-		return el.Value.(*entry), true
+		return e, true
 	}
 	c.misses++
-	e := &entry{key: key, label: label, spec: spec}
+	e := &entry{key: key, label: label, spec: spec, lastUsed: time.Now()}
 	c.entries[key] = c.ll.PushFront(e)
-	for c.ll.Len() > c.capacity {
-		back := c.ll.Back()
-		evicted := back.Value.(*entry)
-		c.ll.Remove(back)
-		delete(c.entries, evicted.key)
-		c.evictions++
-	}
+	c.evictOverBudgetLocked()
 	return e, false
+}
+
+// noteMaterialised charges a freshly materialised entry's footprint to the
+// byte budget (a skeleton weighs nothing until its matrix exists) and
+// evicts if the admission overflowed it. Idempotent per entry; an entry
+// evicted while it was still building is never charged.
+func (c *cache) noteMaterialised(e *entry) {
+	if e.a == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[e.key]
+	if !ok || el.Value.(*entry) != e || e.weight != 0 {
+		return
+	}
+	e.weight = entryFootprint(e.a)
+	c.bytes += e.weight
+	c.evictOverBudgetLocked()
+}
+
+// evictOverBudgetLocked drops LRU entries while either budget is
+// exceeded. The most recently used entry always stays: a single matrix
+// larger than the whole byte budget still serves (and is dropped as soon
+// as anything else displaces it).
+func (c *cache) evictOverBudgetLocked() {
+	for c.ll.Len() > 1 && (c.ll.Len() > c.capacity || (c.bytesCap > 0 && c.bytes > c.bytesCap)) {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+func (c *cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.weight
+	c.evictions++
+}
+
+// entryFootprint estimates the resident bytes of one entry's shareable
+// artifacts. Everything scales with the CSR: the matrix itself is
+// NNZ+rows words of values plus NNZ+rows+1 of indices, and the checksum
+// encodings, partition plans and warm workspaces are small multiples of
+// it — 3× covers them without per-artifact bookkeeping.
+func entryFootprint(a *sparse.CSR) int64 {
+	const wordBytes = 8
+	return 3 * wordBytes * int64(a.MemoryWords()+a.Rows)
 }
 
 func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   c.ll.Len(),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:       c.ll.Len(),
+		Capacity:      c.capacity,
+		Bytes:         c.bytes,
+		CapacityBytes: max(c.bytesCap, 0),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		TTLEvictions:  c.ttlEvictions,
 	}
 }
 
@@ -91,6 +204,12 @@ type entry struct {
 	key   string
 	label string
 	spec  harness.MatrixSpec
+
+	// weight and lastUsed belong to the owning cache (guarded by its mu):
+	// the charged footprint in bytes (0 until materialised and charged)
+	// and the admission/last-hit time driving TTL aging.
+	weight   int64
+	lastUsed time.Time
 
 	once sync.Once
 	err  error

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -20,7 +21,7 @@ func specFor(t *testing.T, gen string, n int) harness.MatrixSpec {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	c := newCache(2)
+	c := newCache(2, 0, 0)
 	var spec harness.MatrixSpec
 
 	if _, hit := c.get("k1", "k1", spec); hit {
@@ -46,7 +47,7 @@ func TestCacheLRUEviction(t *testing.T) {
 }
 
 func TestEntryMaterialiseOnce(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, 0, 0)
 	ent, _ := c.get("k", "k", harness.MatrixSpec{})
 
 	var builds int
@@ -77,7 +78,7 @@ func TestEntryMaterialiseOnce(t *testing.T) {
 }
 
 func TestEntryMaterialiseErrorSticky(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, 0, 0)
 	ent, _ := c.get("bad", "bad", harness.MatrixSpec{})
 	boom := errors.New("boom")
 	if err := ent.materialise(1, func() (*sparse.CSR, error) { return nil, boom }); !errors.Is(err, boom) {
@@ -90,7 +91,7 @@ func TestEntryMaterialiseErrorSticky(t *testing.T) {
 }
 
 func TestEntryRHSCaching(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, 0, 0)
 	ent, _ := c.get("k", "k", harness.MatrixSpec{})
 	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(6, 6), nil }); err != nil {
 		t.Fatal(err)
@@ -123,7 +124,7 @@ func TestEntryRHSCaching(t *testing.T) {
 }
 
 func TestEntryPrecondAndIntervalCaching(t *testing.T) {
-	c := newCache(4)
+	c := newCache(4, 0, 0)
 	ent, _ := c.get("k", "k", harness.MatrixSpec{})
 	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(8, 8), nil }); err != nil {
 		t.Fatal(err)
@@ -163,11 +164,11 @@ func TestInlineFingerprintKeying(t *testing.T) {
 	}
 	key := func(ic *InlineCSR) string {
 		t.Helper()
-		k, _, _, _, err := resolveMatrix(&SolveRequest{Inline: ic})
+		id, err := ResolveIdentity(&SolveRequest{Inline: ic})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return k
+		return id.Key
 	}
 	if key(inline()) != key(inline()) {
 		t.Error("identical inline matrices keyed differently")
@@ -184,11 +185,11 @@ func TestInlineFingerprintKeying(t *testing.T) {
 func TestSpecKeyingDistinguishesParameters(t *testing.T) {
 	keyOf := func(spec harness.MatrixSpec) string {
 		t.Helper()
-		k, _, _, _, err := resolveMatrix(&SolveRequest{Matrix: &spec})
+		id, err := ResolveIdentity(&SolveRequest{Matrix: &spec})
 		if err != nil {
 			t.Fatal(err)
 		}
-		return k
+		return id.Key
 	}
 	a := specFor(t, "poisson2d", 100)
 	b := specFor(t, "poisson2d", 144)
@@ -198,5 +199,126 @@ func TestSpecKeyingDistinguishesParameters(t *testing.T) {
 	}
 	if keyOf(a) != keyOf(specFor(t, "poisson2d", 100)) {
 		t.Error("identical specs keyed differently")
+	}
+}
+
+// materialised inserts a matrix of the given grid side under key and
+// charges its footprint, mirroring the handler's get → materialise →
+// noteMaterialised sequence.
+func materialised(t *testing.T, c *cache, key string, side int) *entry {
+	t.Helper()
+	ent, _ := c.get(key, key, harness.MatrixSpec{})
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(side, side), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.noteMaterialised(ent)
+	return ent
+}
+
+// TestCacheWeightEviction pins the footprint-weighted admission policy:
+// the byte budget evicts by resident size, not entry count, and the
+// eviction order is LRU.
+func TestCacheWeightEviction(t *testing.T) {
+	small := materialisedWeight(16)
+	budget := 2*materialisedWeight(16) + materialisedWeight(16)/2
+	c := newCache(64, budget, 0)
+
+	materialised(t, c, "a", 16)
+	materialised(t, c, "b", 16)
+	st := c.stats()
+	if st.Evictions != 0 || st.Bytes != 2*small {
+		t.Fatalf("two small entries: stats %+v, want 0 evictions, %d bytes", st, 2*small)
+	}
+
+	// Refresh a, then admit c: the budget fits only two small matrices,
+	// so the LRU entry b must go — weight decides, order is LRU.
+	c.get("a", "a", harness.MatrixSpec{})
+	materialised(t, c, "c", 16)
+	if _, hit := c.get("b", "b", harness.MatrixSpec{}); hit {
+		t.Error("b survived a byte-budget eviction that should have taken the LRU entry")
+	}
+
+	// One huge matrix blows the whole budget: everything else is evicted,
+	// but the newest entry itself stays resident and keeps serving.
+	materialised(t, c, "huge", 64)
+	st = c.stats()
+	if st.Entries != 1 {
+		t.Fatalf("after over-budget admission: %d entries, want 1 (stats %+v)", st.Entries, st)
+	}
+	if ent, hit := c.get("huge", "huge", harness.MatrixSpec{}); !hit || ent.a == nil {
+		t.Error("the over-budget entry itself was evicted")
+	}
+}
+
+// materialisedWeight is the charged footprint of a side×side Poisson grid.
+func materialisedWeight(side int) int64 {
+	return entryFootprint(sparse.Poisson2D(side, side))
+}
+
+// TestCacheWeightAccounting verifies charges and refunds: bytes grows on
+// materialisation, shrinks on eviction, and an entry evicted while still
+// building is never charged.
+func TestCacheWeightAccounting(t *testing.T) {
+	c := newCache(2, 0, 0)
+	materialised(t, c, "a", 8)
+	materialised(t, c, "b", 8)
+	if got, want := c.stats().Bytes, 2*materialisedWeight(8); got != want {
+		t.Fatalf("bytes = %d, want %d", got, want)
+	}
+	materialised(t, c, "c", 8) // evicts a
+	if got, want := c.stats().Bytes, 2*materialisedWeight(8); got != want {
+		t.Errorf("bytes after eviction = %d, want %d", got, want)
+	}
+
+	// An entry that lost its slot before materialising finishes must not
+	// charge the budget it is no longer part of.
+	ent, _ := c.get("late", "late", harness.MatrixSpec{})
+	c.get("d", "d", harness.MatrixSpec{})
+	materialised(t, c, "e", 8) // "late" is now evicted
+	if err := ent.materialise(1, func() (*sparse.CSR, error) { return sparse.Poisson2D(8, 8), nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.noteMaterialised(ent)
+	if got, want := c.stats().Bytes, materialisedWeight(8); got != want {
+		t.Errorf("evicted-while-building entry charged the budget: bytes = %d, want %d", got, want)
+	}
+}
+
+// TestCacheTTLExpiry pins idle aging: entries idle past the TTL are swept
+// (oldest first), fresh entries and recently-hit entries survive.
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newCache(8, 0, time.Minute)
+	defer c.close()
+	materialised(t, c, "idle", 8)
+	materialised(t, c, "fresh", 8)
+
+	// Refresh "fresh" at t+45s, then sweep at t+70s: "idle" is 70s idle
+	// (expired), "fresh" only 25s (kept).
+	base := time.Now()
+	c.mu.Lock()
+	c.entries["idle"].Value.(*entry).lastUsed = base.Add(-70 * time.Second)
+	c.entries["fresh"].Value.(*entry).lastUsed = base.Add(-25 * time.Second)
+	c.mu.Unlock()
+	c.sweepOnce(base)
+
+	if _, hit := c.get("idle", "idle", harness.MatrixSpec{}); hit {
+		t.Error("idle entry survived the TTL sweep")
+	}
+	if _, hit := c.get("fresh", "fresh", harness.MatrixSpec{}); !hit {
+		t.Error("fresh entry was swept")
+	}
+	st := c.stats()
+	if st.TTLEvictions != 1 {
+		t.Errorf("ttl_evictions = %d, want 1", st.TTLEvictions)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1 (TTL evictions are a subset)", st.Evictions)
+	}
+
+	// A get refreshes lastUsed: sweeping right after must keep the entry.
+	c.get("fresh", "fresh", harness.MatrixSpec{})
+	c.sweepOnce(time.Now())
+	if _, hit := c.get("fresh", "fresh", harness.MatrixSpec{}); !hit {
+		t.Error("just-touched entry was swept")
 	}
 }

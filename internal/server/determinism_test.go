@@ -14,12 +14,12 @@ func warmEntry(t *testing.T, s *Server, req *SolveRequest) (*entry, harness.Scen
 	if err := req.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	key, label, spec, build, err := resolveMatrix(req)
+	id, err := ResolveIdentity(req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ent, _ := s.cache.get(key, label, spec)
-	if err := ent.materialise(s.kernelWorkers(), build); err != nil {
+	ent, _ := s.cache.get(id.Key, id.Label, id.Spec)
+	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
 		t.Fatal(err)
 	}
 	return ent, req.scenario(ent.spec, ent.label)

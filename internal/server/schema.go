@@ -185,11 +185,30 @@ type ErrorResponse struct {
 
 // CacheStats summarises the artifact cache for /v1/stats.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Capacity  int   `json:"capacity"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
+	Entries  int `json:"entries"`
+	Capacity int `json:"capacity"`
+	// Bytes is the estimated resident footprint of the cached matrices
+	// and CapacityBytes its budget (0 = unbounded).
+	Bytes         int64 `json:"bytes"`
+	CapacityBytes int64 `json:"capacity_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	// TTLEvictions counts entries aged out idle, a subset of Evictions.
+	TTLEvictions int64 `json:"ttl_evictions"`
+}
+
+// HealthResponse is the body of GET /v1/healthz. Routers use it as the
+// active health-probe answer: Status is "ok" or "draining", and the queue
+// fields let a prober prefer less-loaded shards.
+type HealthResponse struct {
+	Schema        int     `json:"schema"`
+	Status        string  `json:"status"`
+	Shard         string  `json:"shard,omitempty"`
+	Draining      bool    `json:"draining"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // StatsResponse is the body of GET /v1/stats.

@@ -35,10 +35,22 @@ type Config struct {
 	// CacheEntries bounds the per-matrix artifact cache (default 32,
 	// LRU-evicted).
 	CacheEntries int
+	// CacheBytes additionally bounds the cache by the estimated memory
+	// footprint of the resident matrices (NNZ-derived, so one huge inline
+	// matrix weighs what it costs, not one slot). 0 = 256 MiB; negative =
+	// unbounded.
+	CacheBytes int64
+	// CacheTTL ages out entries idle for longer than this on a background
+	// ticker (default 15m; negative = never expire).
+	CacheTTL time.Duration
 	// DefaultTimeout applies when a request names no deadline (default
 	// 30s); MaxTimeout clamps requested deadlines (default 5m).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// ShardLabel names this process in a sharded deployment; it is echoed
+	// in /v1/healthz and stamped into every result record's Shard field so
+	// routed responses carry their provenance.
+	ShardLabel string
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +62,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 32
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 15 * time.Minute
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
@@ -91,7 +109,7 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		pool:      pl,
 		poolClose: done,
-		cache:     newCache(cfg.CacheEntries),
+		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL),
 		sched:     newScheduler(cfg.Concurrency, cfg.QueueDepth),
 		started:   time.Now(),
 	}
@@ -122,6 +140,7 @@ func (s *Server) StartDraining() { s.draining.Store(true) }
 func (s *Server) Shutdown() {
 	s.StartDraining()
 	s.sched.shutdown()
+	s.cache.close()
 	s.poolClose()
 }
 
@@ -229,6 +248,7 @@ func (s *Server) record(ent *entry, sc harness.Scenario, out solveOutcome) harne
 		FlopsPerIter:     core.CGFlopsPerIter(ent.a),
 		ResidualHash:     harness.FormatHash(out.hash),
 		WallSeconds:      float64(out.solveNanos) / 1e9,
+		Shard:            s.cfg.ShardLabel,
 	}
 	if sc.Solver == "bicgstab" {
 		r.FlopsPerIter *= 2
@@ -240,34 +260,6 @@ func (s *Server) record(ent *entry, sc harness.Scenario, out solveOutcome) harne
 		r.Failures = 1
 	}
 	return r
-}
-
-// resolveMatrix derives the cache identity of the request's matrix: named
-// specs key on their canonical JSON, inline matrices on their content
-// fingerprint. The returned build runs at most once per cache entry.
-func resolveMatrix(req *SolveRequest) (key, label string, spec harness.MatrixSpec, build func() (*sparse.CSR, error), err error) {
-	if req.Inline != nil {
-		a, cerr := req.Inline.toCSR()
-		if cerr != nil {
-			err = cerr
-			return
-		}
-		label = fmt.Sprintf("inline:%016x", a.Fingerprint())
-		key = label
-		spec = harness.MatrixSpec{Gen: "inline", N: a.Rows}
-		build = func() (*sparse.CSR, error) { return a, nil }
-		return
-	}
-	spec = *req.Matrix
-	js, merr := json.Marshal(spec)
-	if merr != nil {
-		err = merr
-		return
-	}
-	key = "spec:" + string(js)
-	label = spec.String()
-	build = spec.Build
-	return
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -289,19 +281,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
-	key, label, spec, build, err := resolveMatrix(&req)
+	id, err := ResolveIdentity(&req)
 	if err != nil {
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
-	ent, hit := s.cache.get(key, label, spec)
+	ent, hit := s.cache.get(id.Key, id.Label, id.Spec)
 	// Materialise on the handler goroutine: the cold construction cost
 	// never occupies a solver slot, and concurrent first requests for the
 	// same matrix block here on a single build.
-	if err := ent.materialise(s.kernelWorkers(), build); err != nil {
+	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.cache.noteMaterialised(ent)
 	sc := req.scenario(ent.spec, ent.label)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMillis))
@@ -381,7 +374,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Schema:        SchemaVersion,
+		Status:        status,
+		Shard:         s.cfg.ShardLabel,
+		Draining:      s.draining.Load(),
+		QueueDepth:    s.sched.depth(),
+		QueueCapacity: s.cfg.QueueDepth,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

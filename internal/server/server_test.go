@@ -383,12 +383,12 @@ func TestStatsAndHealthEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer hz.Body.Close()
-	var health map[string]string
+	var health HealthResponse
 	if err := json.NewDecoder(hz.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	if health["status"] != "ok" {
-		t.Errorf("health status %q, want ok", health["status"])
+	if health.Status != "ok" || health.Schema != SchemaVersion || health.Draining {
+		t.Errorf("health %+v, want ok/schema %d/not draining", health, SchemaVersion)
 	}
 }
 

@@ -21,6 +21,19 @@ func FNVMix64(h, word uint64) uint64 {
 	return h
 }
 
+// FNV1aString hashes a string through the same 64-bit FNV-1a family as
+// every other fingerprint in this repository. The consistent-hash ring in
+// internal/router keys shard placement on it, so ring placement is as
+// deterministic (and as portable across processes) as the content hashes.
+func FNV1aString(s string) uint64 {
+	h := uint64(FNV1aOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // Fingerprint returns a 64-bit FNV-1a content hash of the matrix: the
 // dimensions, the row pointers, the column indices and the IEEE-754 bit
 // patterns of the values, in that order. Matrices with identical content
