@@ -107,6 +107,49 @@ func TestZeroAllocCoreSolveSteadyState(t *testing.T) {
 	}
 }
 
+func TestZeroAllocBlockedSolvers(t *testing.T) {
+	a, b := allocMatrix(t)
+	const k = 3
+	bs := make([][]float64, k)
+	for j := range bs {
+		bs[j] = make([]float64, len(b))
+		for i := range b {
+			bs[j][i] = b[i] + float64(j)
+		}
+	}
+
+	sws := solver.NewWorkspace()
+	res := make([]solver.Result, k)
+	serrs := make([]error, k)
+	assertZeroAllocs(t, "solver.CGBlock", func() {
+		if err := solver.CGBlock(a, bs, solver.BlockOptions{Tol: 1e-8, Ws: sws}, res, serrs); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			if serrs[j] != nil || !res[j].Converged {
+				t.Fatalf("lane %d: err=%v converged=%v", j, serrs[j], res[j].Converged)
+			}
+		}
+	})
+
+	bw := core.NewBlockWorkspace()
+	sts := make([]core.Stats, k)
+	errs := make([]error, k)
+	for _, scheme := range []core.Scheme{core.ABFTDetection, core.ABFTCorrection} {
+		cfg := core.BlockConfig{Scheme: scheme, Tol: 1e-8, S: 4, Ws: bw}
+		assertZeroAllocs(t, "core.SolveBlock/"+scheme.String(), func() {
+			if _, err := core.SolveBlock(a, bs, cfg, sts, errs); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < k; j++ {
+				if errs[j] != nil || !sts[j].Converged {
+					t.Fatalf("lane %d: err=%v converged=%v", j, errs[j], sts[j].Converged)
+				}
+			}
+		})
+	}
+}
+
 func TestZeroAllocPoolVecKernels(t *testing.T) {
 	x := randVec(3*vec.BlockSize, 1)
 	y := randVec(3*vec.BlockSize, 2)

@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		workers     = fs.Int("workers", 0, "kernel pool size: 0 = GOMAXPROCS, 1 = sequential kernels")
 		concurrency = fs.Int("concurrency", 0, "solves executing at once (0 = GOMAXPROCS/2)")
 		queue       = fs.Int("queue", 64, "bounded queue depth; beyond it requests get 429")
+		maxCoalesce = fs.Int("max-coalesce", 0, "right-hand sides merged into one blocked solve when queued requests share a matrix and scenario (0 = 8)")
 		cacheSize   = fs.Int("cache", 32, "per-matrix artifact cache entries (LRU)")
 		cacheBytes  = fs.Int64("cache-bytes", 0, "artifact cache footprint budget in bytes (0 = 256 MiB, negative = unbounded)")
 		cacheTTL    = fs.Duration("cache-ttl", 0, "age out cache entries idle this long (0 = 15m, negative = never)")
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		Workers:        *workers,
 		Concurrency:    *concurrency,
 		QueueDepth:     *queue,
+		MaxCoalesce:    *maxCoalesce,
 		CacheEntries:   *cacheSize,
 		CacheBytes:     *cacheBytes,
 		CacheTTL:       *cacheTTL,

@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -89,6 +90,9 @@ type Record struct {
 	// Direct is set when -shards cross-checked routed hashes against
 	// direct single-shard serving.
 	Direct *DirectCheck `json:"direct,omitempty"`
+	// Batch is set when the mix carried batched cells: each deterministic
+	// batched cell's per-RHS hashes re-checked against single solves.
+	Batch *BatchCheck `json:"batch,omitempty"`
 	// Router is set in -router mode: the target's /routerz snapshot
 	// after the run.
 	Router *RouterSummary `json:"router,omitempty"`
@@ -101,6 +105,19 @@ type ReplayCheck struct {
 	// Mismatches counts those whose replayed hash differed.
 	RecordedCells int `json:"recorded_cells"`
 	Mismatches    int `json:"mismatches"`
+}
+
+// BatchCheck reports the batched-vs-single determinism cross-check: every
+// right-hand side of a deterministic batched cell is re-solved alone via
+// /v1/solve and its residual hash must be bit-identical to the one the
+// batch answered for that RHS.
+type BatchCheck struct {
+	// Checks counts right-hand sides re-issued; Mismatches counts hashes
+	// that differed from the batched answer; Errors counts single solves
+	// that failed outright.
+	Checks     int `json:"checks"`
+	Mismatches int `json:"mismatches"`
+	Errors     int `json:"errors"`
 }
 
 // DirectCheck reports the routed-vs-direct hash cross-check.
@@ -140,9 +157,14 @@ type Campaign struct {
 type CampaignCell struct {
 	Name    string              `json:"name"`
 	Request server.SolveRequest `json:"request"`
+	// RHS, when set, makes this a batched cell: the request is posted to
+	// /v1/solve/batch with these per-RHS seeds (Request's own seeds are
+	// ignored, matching the server's batch semantics).
+	RHS []server.BatchRHS `json:"rhs,omitempty"`
 	// ResidualHash is the hash the cell answered with when recorded
 	// (set only if the cell was deterministic); on replay it becomes
-	// the expected value.
+	// the expected value. Batched cells join their per-RHS hashes with
+	// "+" in RHS order.
 	ResidualHash string `json:"residual_hash,omitempty"`
 }
 
@@ -178,6 +200,9 @@ func main() {
 type cell struct {
 	name string
 	req  server.SolveRequest
+	// rhs, when non-empty, posts the cell to /v1/solve/batch with these
+	// per-RHS seeds; the cell's hash is the per-RHS hashes joined with "+".
+	rhs []server.BatchRHS
 	// wantHash is the recorded residual hash in replay mode ("" = none).
 	wantHash string
 }
@@ -205,6 +230,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		schemes   = fs.String("schemes", "abft-correction,unprotected", "comma-separated protection schemes")
 		alpha     = fs.Float64("alpha", 0, "expected silent errors per iteration (protected cells only)")
 		seed      = fs.Int64("seed", 7, "request seed (shared by all cells)")
+		batchK    = fs.Int("batch", 1, "right-hand sides per request: >1 posts each cell to /v1/solve/batch with this many per-RHS seeds and cross-checks every RHS against a single solve")
 		timeoutMS = fs.Int("timeout-ms", 0, "per-request deadline sent to the server (0 = server default)")
 		jsonOut   = fs.Bool("json", false, "emit the JSON record on stdout instead of the text summary")
 		outPath   = fs.String("out", "", "also write the JSON record to this file")
@@ -230,7 +256,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		replay = &ReplayCheck{Source: *replayOf}
 		for _, cc := range camp.Cells {
-			mix = append(mix, cell{name: cc.Name, req: cc.Request, wantHash: cc.ResidualHash})
+			mix = append(mix, cell{name: cc.Name, req: cc.Request, rhs: cc.RHS, wantHash: cc.ResidualHash})
 			if cc.ResidualHash != "" {
 				replay.RecordedCells++
 			}
@@ -244,7 +270,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	} else {
 		var err error
-		mix, err = buildMix(*matrices, *solvers, *schemes, *alpha, *seed, *timeoutMS)
+		mix, err = buildMix(*matrices, *solvers, *schemes, *alpha, *seed, *batchK, *timeoutMS)
 		if err != nil {
 			return err
 		}
@@ -271,6 +297,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *shardsCSV != "" {
 		rec.Direct = directCheck(splitList(*shardsCSV), mix, rec.Mix, *timeoutMS)
+	}
+	for i := range mix {
+		if len(mix[i].rhs) > 0 {
+			rec.Batch = batchCheck(*addr, mix, rec.Mix, *timeoutMS)
+			break
+		}
 	}
 	if *isRouter {
 		rs, err := fetchRouterz(*addr)
@@ -328,6 +360,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case rec.Direct != nil && (rec.Direct.Mismatches > 0 || rec.Direct.Errors > 0):
 			return fmt.Errorf("check failed: direct-vs-routed cross-check: %d mismatches, %d errors over %d checks",
 				rec.Direct.Mismatches, rec.Direct.Errors, rec.Direct.Checks)
+		case rec.Batch != nil && (rec.Batch.Mismatches > 0 || rec.Batch.Errors > 0):
+			return fmt.Errorf("check failed: batched-vs-single cross-check: %d mismatches, %d errors over %d checks",
+				rec.Batch.Mismatches, rec.Batch.Errors, rec.Batch.Checks)
 		}
 		// Router counters (failovers, unroutable) are cumulative over the
 		// router's lifetime, not this run's, so they are reported but
@@ -355,6 +390,13 @@ func loadCampaign(path string) (Campaign, error) {
 	for i := range camp.Cells {
 		cc := &camp.Cells[i]
 		cc.Request.WithDefaults()
+		if len(cc.RHS) > 0 {
+			breq := server.BatchSolveRequest{SolveRequest: cc.Request, RHS: cc.RHS}
+			if err := breq.Validate(); err != nil {
+				return camp, fmt.Errorf("campaign %s: cell %q: %w", path, cc.Name, err)
+			}
+			continue
+		}
 		if err := cc.Request.Validate(); err != nil {
 			return camp, fmt.Errorf("campaign %s: cell %q: %w", path, cc.Name, err)
 		}
@@ -369,7 +411,7 @@ func loadCampaign(path string) (Campaign, error) {
 func writeCampaign(path string, n, c int, cells []MixCell, mix []cell) error {
 	camp := Campaign{Schema: Schema, Requests: n, Concurrency: c}
 	for i, m := range mix {
-		cc := CampaignCell{Name: m.name, Request: m.req}
+		cc := CampaignCell{Name: m.name, Request: m.req, RHS: m.rhs}
 		if cells[i].DistinctHashes == 1 {
 			cc.ResidualHash = cells[i].ResidualHash
 		}
@@ -408,7 +450,7 @@ func directCheck(shards []string, mix []cell, cells []MixCell, timeoutMS int) *D
 			continue
 		}
 		dc.Checks++
-		out := post(client, shards[i%len(shards)], i, &mix[i].req)
+		out := post(client, shards[i%len(shards)], i, &mix[i])
 		switch {
 		case out.transport || out.status != http.StatusOK || out.solveErr:
 			dc.Errors++
@@ -417,6 +459,43 @@ func directCheck(shards []string, mix []cell, cells []MixCell, timeoutMS int) *D
 		}
 	}
 	return dc
+}
+
+// batchCheck re-solves every right-hand side of each deterministic batched
+// cell as a single /v1/solve and compares hashes per RHS: the gate that
+// batched serving answers exactly what single serving would, bit for bit.
+func batchCheck(addr string, mix []cell, cells []MixCell, timeoutMS int) *BatchCheck {
+	bc := &BatchCheck{}
+	clientTimeout := 2 * time.Minute
+	if timeoutMS > 0 {
+		clientTimeout = time.Duration(timeoutMS)*time.Millisecond + 30*time.Second
+	}
+	client := &http.Client{Timeout: clientTimeout}
+	for i := range mix {
+		m := &mix[i]
+		if len(m.rhs) == 0 || cells[i].OK == 0 || cells[i].DistinctHashes != 1 {
+			continue
+		}
+		parts := strings.Split(cells[i].ResidualHash, "+")
+		if len(parts) != len(m.rhs) {
+			bc.Errors++
+			continue
+		}
+		for j, rh := range m.rhs {
+			bc.Checks++
+			single := cell{req: m.req}
+			single.req.Seed = rh.Seed
+			single.req.RHSSeed = rh.RHSSeed
+			out := post(client, addr, i, &single)
+			switch {
+			case out.transport || out.status != http.StatusOK || out.solveErr:
+				bc.Errors++
+			case out.hash != parts[j]:
+				bc.Mismatches++
+			}
+		}
+	}
+	return bc
 }
 
 // fetchRouterz snapshots the router's shard map after the run.
@@ -446,8 +525,9 @@ func fetchRouterz(addr string) (*RouterSummary, error) {
 
 // buildMix crosses matrices × solvers × schemes, dropping combinations
 // the harness rejects (e.g. BiCGstab × online-detection, fault-injected
-// unprotected), so the mix is always runnable.
-func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, timeoutMS int) ([]cell, error) {
+// unprotected), so the mix is always runnable. batch > 1 makes every cell
+// a batched request of that many consecutively-seeded right-hand sides.
+func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, batch, timeoutMS int) ([]cell, error) {
 	var specs []harness.MatrixSpec
 	for _, tok := range strings.Split(matrices, ",") {
 		tok = strings.TrimSpace(tok)
@@ -485,7 +565,14 @@ func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, time
 				if err := req.Validate(); err != nil {
 					continue // unsupported axis combination
 				}
-				mix = append(mix, cell{name: name, req: req})
+				cl := cell{name: name, req: req}
+				if batch > 1 {
+					cl.name += fmt.Sprintf("/k%d", batch)
+					for i := 0; i < batch; i++ {
+						cl.rhs = append(cl.rhs, server.BatchRHS{Seed: seed + int64(i)})
+					}
+				}
+				mix = append(mix, cl)
 			}
 		}
 	}
@@ -525,7 +612,7 @@ func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duratio
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				outcomes[j] = post(client, addr, j%len(mix), &mix[j%len(mix)].req)
+				outcomes[j] = post(client, addr, j%len(mix), &mix[j%len(mix)])
 			}
 		}()
 	}
@@ -537,15 +624,25 @@ func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duratio
 	return outcomes, time.Since(start)
 }
 
-func post(client *http.Client, addr string, cellIdx int, req *server.SolveRequest) outcome {
+// post issues one cell's request — /v1/solve, or /v1/solve/batch when the
+// cell carries per-RHS seeds. A batched outcome's hash is the per-RHS
+// hashes joined with "+" in RHS order, so the per-cell determinism and
+// replay machinery gate every right-hand side at once.
+func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 	out := outcome{cell: cellIdx}
-	body, err := json.Marshal(req)
+	path := "/v1/solve"
+	var payload any = &cl.req
+	if len(cl.rhs) > 0 {
+		path = "/v1/solve/batch"
+		payload = &server.BatchSolveRequest{SolveRequest: cl.req, RHS: cl.rhs}
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		out.transport = true
 		return out
 	}
 	start := time.Now()
-	resp, err := client.Post(addr+"/v1/solve", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
 	out.latency = time.Since(start)
 	if err != nil {
 		out.transport = true
@@ -555,6 +652,24 @@ func post(client *http.Client, addr string, cellIdx int, req *server.SolveReques
 	out.status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
+		return out
+	}
+	if len(cl.rhs) > 0 {
+		var br server.BatchSolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || len(br.Results) != len(cl.rhs) {
+			out.transport = true
+			return out
+		}
+		out.latency = time.Since(start)
+		parts := make([]string, len(br.Results))
+		for i := range br.Results {
+			parts[i] = br.Results[i].Result.ResidualHash
+			if br.Results[i].SolveError != "" {
+				out.solveErr = true
+			}
+		}
+		out.hash = strings.Join(parts, "+")
+		out.cacheHit = br.CacheHit
 		return out
 	}
 	var sr server.SolveResponse
@@ -635,8 +750,13 @@ func summarize(ms []float64) LatencySummary {
 	for _, v := range ms {
 		sum += v
 	}
+	// Nearest-rank percentile: the q-quantile of n sorted samples is the
+	// ⌈q·n⌉-th (1-based). The previous rounding form int(q·n+0.5)−1
+	// rounded the rank instead of taking its ceiling, reading one sample
+	// too low whenever frac(q·n) ∈ (0, 0.5) — e.g. p90 of 26 samples has
+	// rank ⌈23.4⌉ = 24 but rounded to 23, under-reporting tail latency.
 	pct := func(q float64) float64 {
-		idx := int(q*float64(len(ms))+0.5) - 1
+		idx := int(math.Ceil(q*float64(len(ms)))) - 1
 		if idx < 0 {
 			idx = 0
 		}
@@ -681,6 +801,12 @@ func writeSummary(w io.Writer, rec Record) error {
 	if rec.Direct != nil {
 		if _, err := fmt.Fprintf(w, "direct cross-check shards=%d checks=%d mismatches=%d errors=%d\n",
 			len(rec.Direct.Shards), rec.Direct.Checks, rec.Direct.Mismatches, rec.Direct.Errors); err != nil {
+			return err
+		}
+	}
+	if rec.Batch != nil {
+		if _, err := fmt.Fprintf(w, "batch cross-check checks=%d mismatches=%d errors=%d\n",
+			rec.Batch.Checks, rec.Batch.Mismatches, rec.Batch.Errors); err != nil {
 			return err
 		}
 	}

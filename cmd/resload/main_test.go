@@ -98,7 +98,7 @@ func TestRunCheckFailsOnDeadServer(t *testing.T) {
 }
 
 func TestBuildMixSkipsInvalidCombos(t *testing.T) {
-	mix, err := buildMix("poisson2d:64", "cg,bicgstab", "online-detection,abft-correction", 0, 1, 0)
+	mix, err := buildMix("poisson2d:64", "cg,bicgstab", "online-detection,abft-correction", 0, 1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,8 +119,81 @@ func TestBuildMixSkipsInvalidCombos(t *testing.T) {
 
 func TestBuildMixRejectsBadMatrices(t *testing.T) {
 	for _, bad := range []string{"poisson2d", "poisson2d:x", "warp:64", ""} {
-		if _, err := buildMix(bad, "cg", "unprotected", 0, 1, 0); err == nil {
+		if _, err := buildMix(bad, "cg", "unprotected", 0, 1, 1, 0); err == nil {
 			t.Errorf("buildMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestSummarizePercentiles pins the nearest-rank estimator on known
+// inputs: the q-quantile of n sorted samples is the ⌈q·n⌉-th (1-based).
+// The rounding form int(q·n+0.5)−1 it replaced read one sample too low
+// whenever frac(q·n) ∈ (0, 0.5) — the n=26 row catches exactly that.
+func TestSummarizePercentiles(t *testing.T) {
+	seq := func(n int) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = float64(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name               string
+		in                 []float64
+		p50, p90, p99, max float64
+	}{
+		{"empty", nil, 0, 0, 0, 0},
+		{"single", seq(1), 1, 1, 1, 1},
+		{"n=4", seq(4), 2, 4, 4, 4},
+		{"n=26", seq(26), 13, 24, 26, 26}, // p90 rank ⌈23.4⌉=24; rounding gave 23
+		{"n=100", seq(100), 50, 90, 99, 100},
+		{"n=200", seq(200), 100, 180, 198, 200},
+	}
+	for _, tc := range cases {
+		in := append([]float64(nil), tc.in...)
+		got := summarize(in)
+		if got.P50Ms != tc.p50 || got.P90Ms != tc.p90 || got.P99Ms != tc.p99 || got.MaxMs != tc.max {
+			t.Errorf("%s: got p50=%v p90=%v p99=%v max=%v, want %v/%v/%v/%v",
+				tc.name, got.P50Ms, got.P90Ms, got.P99Ms, got.MaxMs, tc.p50, tc.p90, tc.p99, tc.max)
+		}
+	}
+	// Percentiles must never exceed the maximum or fall below the minimum.
+	s := summarize(seq(26))
+	if s.P99Ms > s.MaxMs || s.P50Ms < 1 {
+		t.Errorf("bounds violated: %+v", s)
+	}
+}
+
+// TestRunBatchedMix drives the batched endpoint end to end: every cell is
+// a 3-RHS batch, and the built-in cross-check re-solves each RHS alone and
+// requires bit-identical hashes.
+func TestRunBatchedMix(t *testing.T) {
+	url := loadTarget(t)
+	var stdout bytes.Buffer
+	args := []string{
+		"-addr", url, "-n", "8", "-c", "2",
+		"-matrices", "poisson2d:100", "-solvers", "cg", "-schemes", "abft-correction,unprotected",
+		"-batch", "3", "-json", "-check", "-q",
+	}
+	if err := run(args, &stdout, io.Discard); err != nil {
+		t.Fatalf("resload -batch: %v", err)
+	}
+	var rec Record
+	if err := json.Unmarshal(stdout.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.OK != 8 || !rec.Deterministic {
+		t.Fatalf("ok=%d deterministic=%v, want 8/true", rec.OK, rec.Deterministic)
+	}
+	if rec.Batch == nil || rec.Batch.Checks != 6 || rec.Batch.Mismatches != 0 || rec.Batch.Errors != 0 {
+		t.Fatalf("batch cross-check %+v, want 6 clean checks (2 cells × 3 RHS)", rec.Batch)
+	}
+	for _, cl := range rec.Mix {
+		if !strings.Contains(cl.Name, "/k3") {
+			t.Errorf("cell %s: missing batch suffix", cl.Name)
+		}
+		if cl.OK > 0 && strings.Count(cl.ResidualHash, "+") != 2 {
+			t.Errorf("cell %s: hash %q does not join 3 per-RHS hashes", cl.Name, cl.ResidualHash)
 		}
 	}
 }
@@ -309,6 +382,32 @@ func TestReplayGoldenFile(t *testing.T) {
 			"-matrices", "poisson2d:100,tridiag:120", "-solvers", "cg,pcg", "-schemes", "abft-correction,unprotected",
 			"-record", golden, "-check", "-q",
 		}, io.Discard, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		// Fold one batched cell into the golden campaign so the replay gate
+		// also pins the batch endpoint's per-RHS hashes.
+		batched := filepath.Join(t.TempDir(), "batched.json")
+		if err := run([]string{
+			"-addr", url, "-n", "2", "-c", "1",
+			"-matrices", "poisson2d:100", "-solvers", "cg", "-schemes", "abft-correction",
+			"-batch", "3", "-record", batched, "-check", "-q",
+		}, io.Discard, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		base, err := loadCampaign(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra, err := loadCampaign(batched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Cells = append(base.Cells, extra.Cells...)
+		raw, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(raw, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

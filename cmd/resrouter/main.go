@@ -68,6 +68,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe deadline")
 		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that eject a shard")
 		reqTimeout    = fs.Duration("timeout", 2*time.Minute, "forwarded-request deadline when the request names none")
+		retryBody     = fs.Int64("retry-body-bytes", 0, "largest request body buffered for failover resends (0 = 8 MiB, negative = unbounded); larger requests get a single attempt")
 		quiet         = fs.Bool("q", false, "suppress startup and drain logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -127,6 +128,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		ProbeTimeout:   *probeTimeout,
 		FailThreshold:  *failThreshold,
 		RequestTimeout: *reqTimeout,
+		RetryBodyBytes: *retryBody,
 	}, shards)
 	if err != nil {
 		drainSpawned()

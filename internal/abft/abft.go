@@ -273,6 +273,49 @@ func (p *Protected) MulVec(y, x []float64) RowSums {
 	return sr
 }
 
+// MulVecBlock computes ys[j] ← A·xs[j] for every column in one traversal of
+// the possibly corrupted arrays, with the runtime Rowidx checksums fused in.
+// Each row's pointer pair is read and accumulated into sr exactly once — in
+// the same index order as MulVec — and each column's product accumulates
+// left-to-right with the same clamping and column-index guards, so every
+// output column and the returned sr are bitwise identical to k separate
+// MulVec calls (sr depends only on Rowidx, so one accumulation serves all
+// columns). The per-column output checksums are, as in MulVec, deliberately
+// NOT captured here: each column's Verify must re-read its y so the window
+// between product and verification stays protected.
+func (p *Protected) MulVecBlock(ys, xs [][]float64) RowSums {
+	a := p.A
+	n := a.Rows
+	nnz := len(a.Val)
+	var sr RowSums
+	for i := 0; i < n; i++ {
+		lo, hi := a.Rowidx[i], a.Rowidx[i+1]
+		fv := float64(lo)
+		sr.S1 += fv
+		sr.S2 += float64(i+1) * fv
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > nnz {
+			hi = nnz
+		}
+		for j := range xs {
+			x := xs[j]
+			var s float64
+			for k := lo; k < hi; k++ {
+				if ind := a.Colid[k]; uint(ind) < uint(len(x)) {
+					s += a.Val[k] * x[ind]
+				}
+			}
+			ys[j][i] = s
+		}
+	}
+	fv := float64(a.Rowidx[n])
+	sr.S1 += fv
+	sr.S2 += float64(n+1) * fv
+	return sr
+}
+
 // defects computes the dx and dx′ defect pairs and their tolerances.
 //
 //	dx[r]  = w_rᵀ y − C_rᵀ x        (error in A or in the computation)

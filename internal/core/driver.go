@@ -244,32 +244,8 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 		for _, ev := range deferredQ {
 			rs.cfg.Injector.ApplyEvent(rs.state, ev)
 		}
-		outQ := rs.prot.Verify(rs.q, rs.p, rs.pGuard.Ref(), sr)
-
-		vecCorrect := TcorrectVector(rs.live, rs.cfg.Costs)
-		names := [3]string{"rGuard", "xGuard", "product"}
-		for i, out := range [3]abft.Outcome{outR, outX, outQ} {
-			if !out.Detected {
-				continue
-			}
-			st.Detections++
-			if !out.Corrected {
-				rs.trace("it=%d %s detected uncorrectable class=%v", rs.it, names[i], out.Class)
-				return false
-			}
-			st.Corrections++
-			// Guard repairs (r, x) are O(n); product repairs may recompute
-			// the O(nnz) column checksums.
-			if i < 2 || out.Class == abft.ClassX {
-				st.TimeVerif += vecCorrect
-			} else {
-				st.TimeVerif += rs.costs.Tcorrect
-			}
-			// A matrix repair restores the original entry only to rounding;
-			// re-anchor the bitwise checksum identity on the repaired matrix.
-			if i == 2 && (out.Class == abft.ClassVal || out.Class == abft.ClassColid || out.Class == abft.ClassRowidx) {
-				rs.prot.Reencode()
-			}
+		if !rs.settleABFT(outR, outX, sr) {
+			return false
 		}
 	} else {
 		st.TimeIter += rs.costs.Titer
@@ -279,10 +255,52 @@ func (rs *runState) iterate(deferredQ []fault.Event) bool {
 		}
 	}
 
-	// The CG recurrences (paper Algorithm 1, lines 6–10). ABFT schemes run
-	// the vector kernels under TMR (selective reliability for the
-	// computation); both schemes treat non-finite or non-positive curvature
-	// as a detected error.
+	return rs.recurrences(abftScheme)
+}
+
+// settleABFT verifies a completed protected product against the shared
+// runtime Rowidx sums and resolves the joint detection outcome of the two
+// vector guards and the product. It is the post-product half of an ABFT
+// iteration, shared verbatim by the sequential and the blocked drivers so
+// their detection behaviour is identical by construction.
+func (rs *runState) settleABFT(outR, outX abft.Outcome, sr abft.RowSums) bool {
+	st := &rs.stats
+	outQ := rs.prot.Verify(rs.q, rs.p, rs.pGuard.Ref(), sr)
+
+	vecCorrect := TcorrectVector(rs.live, rs.cfg.Costs)
+	names := [3]string{"rGuard", "xGuard", "product"}
+	for i, out := range [3]abft.Outcome{outR, outX, outQ} {
+		if !out.Detected {
+			continue
+		}
+		st.Detections++
+		if !out.Corrected {
+			rs.trace("it=%d %s detected uncorrectable class=%v", rs.it, names[i], out.Class)
+			return false
+		}
+		st.Corrections++
+		// Guard repairs (r, x) are O(n); product repairs may recompute
+		// the O(nnz) column checksums.
+		if i < 2 || out.Class == abft.ClassX {
+			st.TimeVerif += vecCorrect
+		} else {
+			st.TimeVerif += rs.costs.Tcorrect
+		}
+		// A matrix repair restores the original entry only to rounding;
+		// re-anchor the bitwise checksum identity on the repaired matrix.
+		if i == 2 && (out.Class == abft.ClassVal || out.Class == abft.ClassColid || out.Class == abft.ClassRowidx) {
+			rs.prot.Reencode()
+		}
+	}
+	return true
+}
+
+// recurrences runs the CG recurrences (paper Algorithm 1, lines 6–10) after
+// the product q = A·p is in place. ABFT schemes run the vector kernels
+// under TMR (selective reliability for the computation); both schemes treat
+// non-finite or non-positive curvature as a detected error.
+func (rs *runState) recurrences(abftScheme bool) bool {
+	st := &rs.stats
 	var pq float64
 	if abftScheme {
 		pq = rs.exec.Dot(rs.p, rs.q)

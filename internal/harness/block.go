@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pool"
+	"repro/internal/solver"
+	"repro/internal/sparse"
+)
+
+// BlockWorkspaces bundles the reusable arenas of a blocked multi-RHS solve:
+// the core block workspace (shared matrix copy + checksum encoding, per-lane
+// vectors), the solver workspace for the unprotected blocked CG, and a
+// sequential workspace pair for the axis combinations the blocked drivers do
+// not cover (see SolveBlockWith). Not safe for concurrent solves.
+type BlockWorkspaces struct {
+	Core   *core.BlockWorkspace
+	Solver *solver.Workspace
+	Seq    *Workspaces
+
+	// per-lane scratch of the unprotected dispatch, reused across solves
+	res  []solver.Result
+	onit func(rhs, it int, res float64)
+
+	// per-lane iteration adapters of the sequential fallback, bound to
+	// seqCB so the closures themselves survive across solves (the warm
+	// batched path is gated at zero allocations).
+	seqCB   func(rhs, it int, rho float64)
+	seqOnit []func(it int, rho float64)
+}
+
+// laneCallback returns lane j's iteration adapter for cb, growing the
+// cached closure set on first use only.
+func (ws *BlockWorkspaces) laneCallback(j int, cb func(rhs, it int, rho float64)) func(it int, rho float64) {
+	ws.seqCB = cb
+	for len(ws.seqOnit) <= j {
+		lane := len(ws.seqOnit)
+		ws.seqOnit = append(ws.seqOnit, func(it int, rho float64) { ws.seqCB(lane, it, rho) })
+	}
+	return ws.seqOnit[j]
+}
+
+// NewBlockWorkspaces returns an empty warm-up-on-first-use workspace bundle.
+func NewBlockWorkspaces() *BlockWorkspaces {
+	return &BlockWorkspaces{
+		Core:   core.NewBlockWorkspace(),
+		Solver: solver.NewWorkspace(),
+		Seq:    &Workspaces{Core: core.NewWorkspace(), Solver: solver.NewWorkspace()},
+	}
+}
+
+// BlockOpts bundles the execution hooks of SolveBlockWith. Every field is
+// optional.
+type BlockOpts struct {
+	// Pool, when non-nil, runs the parallel kernels on the worker pool; the
+	// arithmetic is identical either way.
+	Pool *pool.Pool
+	// Ws supplies the reusable block arenas; nil builds single-use ones.
+	Ws *BlockWorkspaces
+	// M is a prebuilt PCG preconditioner, forwarded to the sequential
+	// fallback (the blocked drivers cover CG only).
+	M *sparse.CSR
+	// OnIteration, when non-nil, receives every right-hand side's
+	// per-iteration recurrence scalar — for each RHS exactly the (it, rho)
+	// stream a sequential SolveWith of that system would deliver.
+	OnIteration func(rhs, it int, rho float64)
+}
+
+// SolveBlockWith solves the k systems A·x_j = bs[j] under one scenario's
+// axes, with per-system trial seeds. Right-hand sides are prebuilt by the
+// caller (the batch service resolves each from its own rhs_seed).
+//
+// Dispatch: CG × {unprotected, abft-detection, abft-correction} × fault-free
+// runs the true blocked drivers (one matrix traversal per iteration covers
+// every active system); every other combination — PCG, BiCGstab,
+// online-detection, or fault injection, whose per-system injector streams
+// and preconditioner state don't share a traversal — falls back to
+// sequential per-system solves on the Seq workspace pair. Both paths are
+// bitwise identical per system to a sequential SolveWith of that system
+// alone; the blocked drivers guarantee it by construction (gated in CI on
+// every suite matrix), the fallback trivially.
+//
+// Per-system statistics and errors land in sts[j] and errs[j] (length ≥ k).
+func SolveBlockWith(a *sparse.CSR, bs [][]float64, sc Scenario, seeds []int64, opt BlockOpts, sts []core.Stats, errs []error) error {
+	k := len(bs)
+	if k == 0 {
+		return nil
+	}
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if len(seeds) < k {
+		return fmt.Errorf("harness: SolveBlockWith needs len(seeds) ≥ %d", k)
+	}
+	if len(sts) < k || len(errs) < k {
+		return fmt.Errorf("harness: SolveBlockWith needs len(sts) and len(errs) ≥ %d", k)
+	}
+	ws := opt.Ws
+	if ws == nil {
+		ws = NewBlockWorkspaces()
+	}
+	scheme, unprotected, _ := ParseScheme(sc.Scheme)
+
+	switch {
+	case sc.Solver == "cg" && sc.Alpha == 0 && unprotected:
+		return solveBlockUnprotected(a, bs, sc, ws, opt, sts, errs)
+	case sc.Solver == "cg" && sc.Alpha == 0 && (scheme == core.ABFTDetection || scheme == core.ABFTCorrection):
+		_, err := core.SolveBlock(a, bs, core.BlockConfig{
+			Scheme: scheme, S: sc.S, D: sc.D, Tol: sc.Tol, MaxIters: sc.MaxIters,
+			Pool: opt.Pool, OnIteration: opt.OnIteration, Ws: ws.Core,
+		}, sts, errs)
+		return err
+	default:
+		for j := 0; j < k; j++ {
+			scj := sc
+			scj.Seed = seeds[j]
+			var onIter func(it int, rho float64)
+			if opt.OnIteration != nil {
+				onIter = ws.laneCallback(j, opt.OnIteration)
+			}
+			_, st, err := SolveWith(a, bs[j], scj, seeds[j], SolveOpts{
+				Pool: opt.Pool, Ws: ws.Seq, M: opt.M, OnIteration: onIter,
+			})
+			sts[j] = st
+			errs[j] = err
+		}
+		return nil
+	}
+}
+
+// solveBlockUnprotected runs the blocked unprotected CG and shapes each
+// lane's outcome exactly as solveUnprotected would for that system alone.
+func solveBlockUnprotected(a *sparse.CSR, bs [][]float64, sc Scenario, ws *BlockWorkspaces, opt BlockOpts, sts []core.Stats, errs []error) error {
+	k := len(bs)
+	opts := solver.BlockOptions{Tol: sc.Tol, MaxIter: sc.MaxIters, Ws: ws.Solver}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-8
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 20 * a.Rows
+	}
+	if opt.OnIteration != nil {
+		opts.OnIteration = opt.OnIteration
+	}
+	ws.res = ws.res[:0]
+	for len(ws.res) < k {
+		ws.res = append(ws.res, solver.Result{})
+	}
+	if err := solver.CGBlock(a, bs, opts, ws.res, errs); err != nil {
+		return err
+	}
+	titer := rawTiter(a, sc.Solver)
+	for j := 0; j < k; j++ {
+		res := ws.res[j]
+		st := core.Stats{
+			UsefulIterations: res.Iterations,
+			TotalIterations:  int64(res.Iterations),
+			Converged:        res.Converged,
+		}
+		st.SimTime = float64(res.Iterations) * titer
+		st.TimeIter = st.SimTime
+		if nb := normOf(bs[j]); nb > 0 {
+			st.FinalResidual = res.Residual / nb
+		}
+		sts[j] = st
+	}
+	return nil
+}

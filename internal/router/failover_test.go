@@ -180,3 +180,88 @@ func TestFailoverDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// routedStatus posts through the router and returns just the status code
+// (routedSolve fatals on non-200, which here is the expected outcome).
+func routedStatus(t *testing.T, url, path string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestRetryBodyCap pins the bounded-buffering rule: a request body over
+// RetryBodyBytes is forwarded once to the key's owner — the solve still
+// runs — but is never held for a failover resend, so the same request
+// answers 502 when the owner dies, while a router without the cap fails
+// over and answers the identical hash.
+func TestRetryBodyCap(t *testing.T) {
+	shards := []*realShard{newRealShard(t, "s0"), newRealShard(t, "s1")}
+	specs := []Shard{
+		{Name: shards[0].name, Addr: shards[0].ts.URL},
+		{Name: shards[1].name, Addr: shards[1].ts.URL},
+	}
+	newRouter := func(retryBytes int64) *Router {
+		t.Helper()
+		r, err := New(Config{ProbeInterval: time.Hour, FailThreshold: 3, RetryBodyBytes: retryBytes}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(r.Shutdown)
+		return r
+	}
+	capped := newRouter(16) // every real request body exceeds 16 bytes
+	free := newRouter(-1)   // unbounded: retry always allowed
+	cappedTS := httptest.NewServer(capped.Handler())
+	freeTS := httptest.NewServer(free.Handler())
+	t.Cleanup(func() { cappedTS.Close(); freeTS.Close() })
+
+	spec, err := harness.NewMatrixSpec("poisson2d", 225, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &server.SolveRequest{Matrix: &spec, Seed: 7}
+	id, err := server.ResolveIdentity(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := capped.ring.Lookup(id.Key)
+
+	// Healthy owner: the cap waives only the retry, never the solve.
+	sr, shard := routedSolve(t, cappedTS.URL, req)
+	if sr.SolveError != "" {
+		t.Fatalf("capped healthy solve: %s", sr.SolveError)
+	}
+	if shard != owner {
+		t.Fatalf("served by %s, ring owner is %s", shard, owner)
+	}
+	hash := sr.Result.ResidualHash
+
+	for _, s := range shards {
+		if s.name == owner {
+			s.kill()
+		}
+	}
+
+	// Without the cap the body is held and resent: the request fails over
+	// to the surviving replica with a bit-identical answer.
+	fsr, fshard := routedSolve(t, freeTS.URL, req)
+	if fshard == owner {
+		t.Fatalf("failover request served by the dead owner %s", owner)
+	}
+	if fsr.Result.ResidualHash != hash {
+		t.Errorf("failover hash %s != pre-kill hash %s", fsr.Result.ResidualHash, hash)
+	}
+
+	// With the cap the single candidate is the dead owner: no resend, 502.
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := routedStatus(t, cappedTS.URL, "/v1/solve", body); code != http.StatusBadGateway {
+		t.Errorf("capped request to dead owner: status %d, want 502", code)
+	}
+}

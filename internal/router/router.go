@@ -46,6 +46,12 @@ type Config struct {
 	// deadline of its own (default 2m). Requests carrying timeout_ms get
 	// that deadline plus scheduling slack instead.
 	RequestTimeout time.Duration
+	// RetryBodyBytes caps the request bodies eligible for replica
+	// failover (default 8 MiB; negative = no cap). Failover needs the
+	// whole body buffered for a bit-identical resend, so bodies above the
+	// cap — huge inline matrices — are forwarded to the key's owner only,
+	// in a single attempt, instead of pinning the buffer across retries.
+	RetryBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.RetryBodyBytes == 0 {
+		c.RetryBodyBytes = 8 << 20
 	}
 	return c
 }
@@ -137,6 +146,7 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", r.handleSolve)
+	mux.HandleFunc("/v1/solve/batch", r.handleSolveBatch)
 	mux.HandleFunc("/routerz", r.handleRouterz)
 	mux.HandleFunc("/v1/healthz", r.handleHealthz)
 	r.mux = mux
@@ -200,6 +210,18 @@ func (r *Router) trackKey(key string, shard string) {
 }
 
 func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
+	r.routeSolve(w, req, "/v1/solve")
+}
+
+func (r *Router) handleSolveBatch(w http.ResponseWriter, req *http.Request) {
+	r.routeSolve(w, req, "/v1/solve/batch")
+}
+
+// routeSolve forwards a single or batched solve to the shard owning its
+// matrix identity, failing over across ring replicas. Batch requests route
+// by the same key as their singles — the embedded SolveRequest carries the
+// matrix — so batched and single solves of one matrix warm one shard.
+func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path string) {
 	if req.Method != http.MethodPost {
 		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
@@ -222,14 +244,28 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	var sreq server.SolveRequest
-	if err := json.Unmarshal(body, &sreq); err != nil {
-		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
-	}
-	sreq.WithDefaults()
-	if err := sreq.Validate(); err != nil {
-		respondErr(w, http.StatusBadRequest, err)
-		return
+	if path == "/v1/solve/batch" {
+		var breq server.BatchSolveRequest
+		if err := json.Unmarshal(body, &breq); err != nil {
+			respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		breq.WithDefaults()
+		if err := breq.Validate(); err != nil {
+			respondErr(w, http.StatusBadRequest, err)
+			return
+		}
+		sreq = breq.SolveRequest
+	} else {
+		if err := json.Unmarshal(body, &sreq); err != nil {
+			respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		sreq.WithDefaults()
+		if err := sreq.Validate(); err != nil {
+			respondErr(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	// The routing key is the shard-side cache identity, so a matrix's
 	// artifacts warm exactly one shard.
@@ -243,6 +279,11 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		r.unroutable.Add(1)
 		respondErr(w, http.StatusBadGateway, errors.New("router: no shard available"))
 		return
+	}
+	if r.cfg.RetryBodyBytes > 0 && int64(len(body)) > r.cfg.RetryBodyBytes {
+		// Too large to hold for a resend: single attempt on the key's
+		// owner, no failover. The solve still runs; only retry is waived.
+		cands = cands[:1]
 	}
 
 	timeout := r.cfg.RequestTimeout
@@ -259,7 +300,7 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		if i > 0 {
 			r.failovers.Add(1)
 		}
-		done, err := r.forward(ctx, w, s, body, i > 0)
+		done, err := r.forward(ctx, w, s, path, body, i > 0)
 		if done {
 			r.routed.Add(1)
 			r.trackKey(id.Key, s.name)
@@ -295,8 +336,8 @@ var errSaturated = errors.New("shard queue saturated (429)")
 // saturated; the replica can absorb the burst). Responses the shard
 // actually computed — 200s, validation 4xxs, solver 5xxs — are relayed,
 // not retried: the next shard would compute the identical answer.
-func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, body []byte, isRetry bool) (bool, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+"/v1/solve", bytes.NewReader(body))
+func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, path string, body []byte, isRetry bool) (bool, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+path, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}

@@ -59,3 +59,46 @@ func TestZeroAllocWarmSolvePath(t *testing.T) {
 		}
 	}
 }
+
+// TestZeroAllocWarmBatchPath extends the gate to the blocked drivers: a
+// warm batched solve — pooled block workspaces, per-lane argument and
+// history slices at capacity, cached RHS vectors — must allocate nothing
+// per group, across the blocked (cg) and sequential-fallback (pcg) paths.
+func TestZeroAllocWarmBatchPath(t *testing.T) {
+	s := New(Config{Workers: 1, Concurrency: 1, QueueDepth: 4})
+	defer s.Shutdown()
+
+	cases := []struct{ solver, scheme string }{
+		{"cg", "abft-correction"},
+		{"cg", "abft-detection"},
+		{"cg", "unprotected"},
+		{"pcg", "abft-correction"},
+	}
+	for _, tc := range cases {
+		name := tc.solver + "/" + tc.scheme
+		spec, err := harness.NewMatrixSpec("poisson2d", 576, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := &SolveRequest{Matrix: &spec, Solver: tc.solver, Scheme: tc.scheme, Seed: 3}
+		ent, sc := warmEntry(t, s, req)
+
+		// One 3-wide task, reused across runs exactly as the scheduler
+		// reuses a coalesced group (outs are overwritten in place).
+		tk := newTask("", []rhsSpec{{3, 3}, {4, 4}, {5, 5}})
+		group := []*task{tk}
+		solve := func() {
+			s.runGroup(ent, sc, group)
+			for i, out := range tk.outs {
+				if out.err != nil {
+					t.Fatalf("%s lane %d: %v", name, i, out.err)
+				}
+			}
+		}
+		solve()
+		solve() // warm: block workspaces, lane slices, RHS cache, history capacity
+		if allocs := testing.AllocsPerRun(10, solve); allocs != 0 {
+			t.Errorf("%s: %v allocs per warm batched solve, want 0", name, allocs)
+		}
+	}
+}

@@ -181,6 +181,39 @@ func entryFootprint(a *sparse.CSR) int64 {
 	return 3 * wordBytes * int64(a.MemoryWords()+a.Rows)
 }
 
+// perRHSFootprint estimates the resident bytes one blocked-solve lane adds
+// on top of entryFootprint: each lane owns its iteration vectors, guards
+// and rollback stores — the stores deep-copy the protected matrix per
+// checkpoint slot (~2× the CSR words) plus ~10 lane vectors.
+func perRHSFootprint(a *sparse.CSR) int64 {
+	const wordBytes = 8
+	return wordBytes * int64(2*a.MemoryWords()+10*a.Rows)
+}
+
+// noteBatchWidth charges the block workspaces of an entry that has served
+// a k-wide blocked solve: lane arenas persist in the entry's batch-context
+// pool, so the footprint grows by high-water RHS width, not per request.
+// Widening may push the cache over its byte budget and evict colder
+// entries. Never called with the entry's own cache lock held.
+func (c *cache) noteBatchWidth(e *entry, k int) {
+	if k <= 1 || e.a == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[e.key]
+	if !ok || el.Value.(*entry) != e || e.weight == 0 || k <= e.blockK {
+		// Unknown, evicted-while-building, not yet charged, or already
+		// charged at this width or wider.
+		return
+	}
+	delta := int64(k-e.blockK) * perRHSFootprint(e.a)
+	e.blockK = k
+	e.weight += delta
+	c.bytes += delta
+	c.evictOverBudgetLocked()
+}
+
 func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -205,10 +238,13 @@ type entry struct {
 	label string
 	spec  harness.MatrixSpec
 
-	// weight and lastUsed belong to the owning cache (guarded by its mu):
-	// the charged footprint in bytes (0 until materialised and charged)
-	// and the admission/last-hit time driving TTL aging.
+	// weight, blockK and lastUsed belong to the owning cache (guarded by
+	// its mu): the charged footprint in bytes (0 until materialised and
+	// charged), the widest blocked solve charged so far (its lane arenas
+	// stay resident in the bctxs pool), and the admission/last-hit time
+	// driving TTL aging.
 	weight   int64
+	blockK   int
 	lastUsed time.Time
 
 	once sync.Once
@@ -220,8 +256,10 @@ type entry struct {
 	preconds  map[string]*sparse.CSR
 	intervals map[intervalKey][2]int
 
-	// ctxs pools warm per-request solve contexts; see solveCtx.
-	ctxs sync.Pool
+	// ctxs pools warm per-request solve contexts (see solveCtx); bctxs
+	// pools warm blocked-solve contexts (see batchCtx).
+	ctxs  sync.Pool
+	bctxs sync.Pool
 }
 
 // intervalKey identifies one cached model-optimal (d, s) pair.
@@ -248,6 +286,11 @@ func (e *entry) materialise(workers int, build func() (*sparse.CSR, error)) erro
 		}
 		e.ctxs.New = func() any {
 			c := newSolveCtx()
+			c.ws.Core.Prewarm(a, core.ABFTCorrection)
+			return c
+		}
+		e.bctxs.New = func() any {
+			c := newBatchCtx()
 			c.ws.Core.Prewarm(a, core.ABFTCorrection)
 			return c
 		}
@@ -338,4 +381,37 @@ func newSolveCtx() *solveCtx {
 	}}
 	c.record = func(_ int, rho float64) { c.hist = append(c.hist, rho) }
 	return c
+}
+
+// batchCtx is the per-group execution context of a blocked solve, drawn
+// from an entry's bctxs pool: the reusable block workspaces plus the
+// per-lane argument and result slices and the recording closure. All
+// slices grow to the high-water lane count and persist, so a warm batched
+// request reuses everything.
+type batchCtx struct {
+	ws     *harness.BlockWorkspaces
+	bs     [][]float64
+	seeds  []int64
+	hists  [][]float64
+	sts    []core.Stats
+	errs   []error
+	record func(rhs, it int, rho float64)
+}
+
+func newBatchCtx() *batchCtx {
+	c := &batchCtx{ws: harness.NewBlockWorkspaces()}
+	c.record = func(rhs, _ int, rho float64) { c.hists[rhs] = append(c.hists[rhs], rho) }
+	return c
+}
+
+// grow sizes the per-lane slices for a k-wide block, preserving warm
+// capacity (hists keep their backing arrays across uses).
+func (c *batchCtx) grow(k int) {
+	for len(c.bs) < k {
+		c.bs = append(c.bs, nil)
+		c.seeds = append(c.seeds, 0)
+		c.hists = append(c.hists, nil)
+		c.sts = append(c.sts, core.Stats{})
+		c.errs = append(c.errs, nil)
+	}
 }

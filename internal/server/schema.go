@@ -173,8 +173,78 @@ type SolveResponse struct {
 	// QueueMillis and SolveMillis break down the measured wall time.
 	QueueMillis float64 `json:"queue_ms"`
 	SolveMillis float64 `json:"solve_ms"`
+	// Coalesced is the total right-hand-side width of the blocked solve
+	// this request was merged into (1 or absent when it ran alone). The
+	// result bits are identical either way.
+	Coalesced int `json:"coalesced,omitempty"`
 	// SolveError is set when the solver itself failed.
 	SolveError string `json:"solve_error,omitempty"`
+}
+
+// maxBatchRHS bounds the right-hand sides of one batch request.
+const maxBatchRHS = 64
+
+// BatchRHS names one right-hand side of a batch request: a trial seed
+// (injector seeding, and the manufactured RHS unless RHSSeed overrides it),
+// mirroring SolveRequest's Seed/RHSSeed pair per system.
+type BatchRHS struct {
+	Seed    int64  `json:"seed,omitempty"`
+	RHSSeed *int64 `json:"rhs_seed,omitempty"`
+}
+
+// rhsSeed resolves the seed of this right-hand side's manufactured vector.
+func (r *BatchRHS) rhsSeed() int64 {
+	if r.RHSSeed != nil {
+		return *r.RHSSeed
+	}
+	return r.Seed
+}
+
+// BatchSolveRequest is the body of POST /v1/solve/batch: one matrix and
+// one set of scenario axes (the embedded SolveRequest, whose own Seed and
+// RHSSeed are ignored), solved against every right-hand side in RHS as a
+// single blocked solve. Each RHS converges independently and its result is
+// bit-identical to solving it alone via /v1/solve.
+type BatchSolveRequest struct {
+	SolveRequest
+	RHS []BatchRHS `json:"rhs"`
+}
+
+// Validate rejects malformed batch requests before they reach the queue.
+func (r *BatchSolveRequest) Validate() error {
+	if len(r.RHS) == 0 {
+		return fmt.Errorf("batch request needs at least one entry in \"rhs\"")
+	}
+	if len(r.RHS) > maxBatchRHS {
+		return fmt.Errorf("batch request carries %d right-hand sides, maximum is %d", len(r.RHS), maxBatchRHS)
+	}
+	return r.SolveRequest.Validate()
+}
+
+// BatchResult is one right-hand side's outcome inside a batch response,
+// in RHS order.
+type BatchResult struct {
+	// Result is the standard campaign record of this system's trial, with
+	// the same determinism guarantees as a single solve.
+	Result harness.Result `json:"result"`
+	// SolveMillis is the wall time of the whole blocked solve this system
+	// ran in (shared across the batch, not per-RHS attribution).
+	SolveMillis float64 `json:"solve_ms"`
+	// SolveError is set when this system's solve failed.
+	SolveError string `json:"solve_error,omitempty"`
+}
+
+// BatchSolveResponse is the body of a successful (HTTP 200) batch solve.
+type BatchSolveResponse struct {
+	Schema   int  `json:"schema"`
+	CacheHit bool `json:"cache_hit"`
+	// QueueMillis is the time the batch waited for a solver slot.
+	QueueMillis float64 `json:"queue_ms"`
+	// Coalesced is the total RHS width of the blocked solve that ran,
+	// ≥ len(Results) when queued singles were merged in.
+	Coalesced int `json:"coalesced"`
+	// Results holds one record per requested right-hand side, in order.
+	Results []BatchResult `json:"results"`
 }
 
 // ErrorResponse is the body of every non-200 answer.

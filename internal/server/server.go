@@ -32,6 +32,11 @@ type Config struct {
 	// QueueDepth bounds the requests queued but not yet solving (default
 	// 64); submissions beyond it are rejected with HTTP 429.
 	QueueDepth int
+	// MaxCoalesce caps the total right-hand sides merged into one blocked
+	// solve when queued requests share a matrix and scenario axes (default
+	// 8; 1 disables coalescing). Merging never changes result bits — each
+	// merged system solves exactly as it would alone.
+	MaxCoalesce int
 	// CacheEntries bounds the per-matrix artifact cache (default 32,
 	// LRU-evicted).
 	CacheEntries int
@@ -59,6 +64,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 8
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 32
@@ -110,11 +118,12 @@ func New(cfg Config) *Server {
 		pool:      pl,
 		poolClose: done,
 		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL),
-		sched:     newScheduler(cfg.Concurrency, cfg.QueueDepth),
+		sched:     newScheduler(cfg.Concurrency, cfg.QueueDepth, cfg.MaxCoalesce),
 		started:   time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux = mux
@@ -219,6 +228,98 @@ func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64) solveOutc
 	return out
 }
 
+// coalesceKey names the axes a queued request must share to be merged into
+// one blocked solve: the matrix identity plus every scenario axis except
+// the per-RHS seeds and the deadline. Requests with equal keys are
+// interchangeable lanes of one block.
+func coalesceKey(idKey string, r *SolveRequest) string {
+	return fmt.Sprintf("%s|%s|%s|%s|%g|%g|%d|%d|%d",
+		idKey, r.Solver, r.Precond, r.Scheme, r.Alpha, r.Tol, r.MaxIters, r.S, r.D)
+}
+
+// runGroup executes one scheduled group — the leader task plus any queued
+// same-key tasks the worker merged in — and fills every member's outs and
+// coalesced width. sc is the leader's scenario; key equality guarantees
+// every member shares its axes, so only the per-RHS seeds vary.
+func (s *Server) runGroup(ent *entry, sc harness.Scenario, group []*task) {
+	total := 0
+	for _, t := range group {
+		total += len(t.specs)
+	}
+	if total == 1 {
+		t := group[0]
+		t.coalesced = 1
+		sc.Seed = t.specs[0].seed
+		t.outs[0] = s.solve(ent, sc, t.specs[0].rhsSeed)
+		return
+	}
+	s.solveBlock(ent, sc, group, total)
+}
+
+// solveBlock is the batched hot path: it draws a warm block context from
+// the entry's pool, resolves the per-matrix artifacts exactly as solve()
+// does and runs all k systems through one blocked solve (one matrix
+// traversal per iteration serves every active lane). Each lane's residual
+// history, statistics and outcome are bit-identical to a single solve of
+// that system — the blocked drivers guarantee it by construction, gated in
+// CI on every suite matrix.
+func (s *Server) solveBlock(ent *entry, sc harness.Scenario, group []*task, k int) {
+	s.cache.noteBatchWidth(ent, k)
+	c := ent.bctxs.Get().(*batchCtx)
+	defer ent.bctxs.Put(c)
+	c.grow(k)
+	i := 0
+	for _, t := range group {
+		t.coalesced = k
+		for _, spec := range t.specs {
+			c.bs[i] = ent.rhsFor(spec.rhsSeed)
+			c.seeds[i] = spec.seed
+			c.hists[i] = c.hists[i][:0]
+			i++
+		}
+	}
+
+	var m *sparse.CSR
+	var setupErr error
+	if sc.Solver == "pcg" {
+		m, setupErr = ent.precondFor(sc.Precond)
+	}
+	if scheme, unprotected, _ := harness.ParseScheme(sc.Scheme); setupErr == nil && !unprotected && (sc.D == 0 || sc.S == 0) {
+		d, sOpt := ent.intervalsFor(scheme, sc.Alpha)
+		if sc.D == 0 {
+			sc.D = d
+		}
+		if sc.S == 0 {
+			sc.S = sOpt
+		}
+	}
+
+	var nanos int64
+	if setupErr == nil {
+		start := time.Now()
+		setupErr = harness.SolveBlockWith(ent.a, c.bs[:k], sc, c.seeds[:k], harness.BlockOpts{
+			Pool: s.pool, Ws: c.ws, M: m, OnIteration: c.record,
+		}, c.sts[:k], c.errs[:k])
+		nanos = time.Since(start).Nanoseconds()
+	}
+
+	i = 0
+	for _, t := range group {
+		for j := range t.specs {
+			out := &t.outs[j]
+			out.solveNanos = nanos
+			if setupErr != nil {
+				out.err = setupErr
+			} else {
+				out.stats = c.sts[i]
+				out.hash = harness.HashBits(c.hists[i])
+				out.err = c.errs[i]
+			}
+			i++
+		}
+	}
+}
+
 // record shapes a solve outcome as the standard campaign record.
 func (s *Server) record(ent *entry, sc harness.Scenario, out solveOutcome) harness.Result {
 	st := out.stats
@@ -297,19 +398,42 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.cache.noteMaterialised(ent)
 	sc := req.scenario(ent.spec, ent.label)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMillis))
-	defer cancel()
-
-	var out solveOutcome
-	var queueNanos int64
-	t := newTask(nil)
-	t.run = func() {
-		queueNanos = time.Since(t.enqueued).Nanoseconds()
+	t := newTask(coalesceKey(id.Key, &req), []rhsSpec{{seed: req.Seed, rhsSeed: req.rhsSeed()}})
+	t.exec = func(group []*task) {
 		if hook := s.testHookPreSolve; hook != nil {
 			hook()
 		}
-		out = s.solve(ent, sc, req.rhsSeed())
+		s.runGroup(ent, sc, group)
 	}
+	if !s.await(w, r, t, req.TimeoutMillis) {
+		return
+	}
+
+	out := t.outs[0]
+	resp := SolveResponse{
+		Schema:      SchemaVersion,
+		Result:      s.record(ent, sc, out),
+		CacheHit:    hit,
+		QueueMillis: float64(t.queueNanos) / 1e6,
+		SolveMillis: float64(out.solveNanos) / 1e6,
+		Coalesced:   t.coalesced,
+	}
+	if out.err != nil {
+		s.failed.Add(1)
+		resp.SolveError = out.err.Error()
+	}
+	s.completed.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// await submits the task and blocks until it is solved or its deadline
+// claims it while still queued. It answers 429/503/504 itself and reports
+// whether the caller owns a completed task to respond with. A task a
+// worker already claimed runs to completion and is delivered — the
+// deadline bounds queue wait, not a started solve.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutMillis int) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(timeoutMillis))
+	defer cancel()
 	if err := s.sched.submit(t); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.rejected.Add(1)
@@ -317,32 +441,97 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		} else {
 			respondErr(w, http.StatusServiceUnavailable, err)
 		}
-		return
+		return false
 	}
 	select {
 	case <-t.done:
 	case <-ctx.Done():
 		if t.claim() {
-			// Still queued: abandon it before a worker picks it up. A solve
-			// already claimed runs to completion and is delivered below —
-			// the deadline bounds queue wait, not a started solve.
+			// Still queued: abandon it before a worker (or a coalescing
+			// scan) picks it up.
 			s.expired.Add(1)
 			respondErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded while queued: %w", ctx.Err()))
-			return
+			return false
 		}
 		<-t.done
 	}
+	return true
+}
 
-	resp := SolveResponse{
-		Schema:      SchemaVersion,
-		Result:      s.record(ent, sc, out),
-		CacheHit:    hit,
-		QueueMillis: float64(queueNanos) / 1e6,
-		SolveMillis: float64(out.solveNanos) / 1e6,
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
 	}
-	if out.err != nil {
-		s.failed.Add(1)
-		resp.SolveError = out.err.Error()
+	if s.draining.Load() {
+		respondErr(w, http.StatusServiceUnavailable, errShuttingDown)
+		return
+	}
+	var req BatchSolveRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	req.WithDefaults()
+	if err := req.Validate(); err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := ResolveIdentity(&req.SolveRequest)
+	if err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ent, hit := s.cache.get(id.Key, id.Label, id.Spec)
+	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
+		respondErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.cache.noteMaterialised(ent)
+	s.cache.noteBatchWidth(ent, len(req.RHS))
+	sc := req.scenario(ent.spec, ent.label)
+
+	specs := make([]rhsSpec, len(req.RHS))
+	for i := range req.RHS {
+		specs[i] = rhsSpec{seed: req.RHS[i].Seed, rhsSeed: req.RHS[i].rhsSeed()}
+	}
+	t := newTask(coalesceKey(id.Key, &req.SolveRequest), specs)
+	t.exec = func(group []*task) {
+		if hook := s.testHookPreSolve; hook != nil {
+			hook()
+		}
+		s.runGroup(ent, sc, group)
+	}
+	// The deadline covers the whole batch: expiry while queued answers 504
+	// for every right-hand side of this request (merged-in singles keep
+	// their own deadlines and answers).
+	if !s.await(w, r, t, req.TimeoutMillis) {
+		return
+	}
+
+	resp := BatchSolveResponse{
+		Schema:      SchemaVersion,
+		CacheHit:    hit,
+		QueueMillis: float64(t.queueNanos) / 1e6,
+		Coalesced:   t.coalesced,
+		Results:     make([]BatchResult, len(specs)),
+	}
+	for i := range specs {
+		// Stamp each record with its own seeds so batch results replay as
+		// the equivalent single requests.
+		ri := req.SolveRequest
+		ri.Seed = req.RHS[i].Seed
+		ri.RHSSeed = req.RHS[i].RHSSeed
+		out := t.outs[i]
+		br := BatchResult{
+			Result:      s.record(ent, ri.scenario(ent.spec, ent.label), out),
+			SolveMillis: float64(out.solveNanos) / 1e6,
+		}
+		if out.err != nil {
+			s.failed.Add(1)
+			br.SolveError = out.err.Error()
+		}
+		resp.Results[i] = br
 	}
 	s.completed.Add(1)
 	writeJSON(w, http.StatusOK, resp)

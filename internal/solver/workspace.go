@@ -13,6 +13,18 @@ package solver
 type Workspace struct {
 	bufs [][]float64
 	next int
+	blk  blockScratch
+}
+
+// blockScratch carries the per-lane bookkeeping of CGBlock: vector headers,
+// gathered active-column headers and per-lane scalars, all reused across
+// solves so a warm blocked solve allocates nothing.
+type blockScratch struct {
+	xs, rs, qs, ps [][]float64
+	gps, gqs       [][]float64
+	gidx           []int
+	rho, normB     []float64
+	active         []bool
 }
 
 // NewWorkspace returns an empty workspace; buffers are created on first
