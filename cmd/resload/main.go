@@ -34,6 +34,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -47,9 +48,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/harness"
-	"repro/internal/router"
-	"repro/internal/server"
 )
 
 // Schema identifies the resload record layout; bump on incompatible
@@ -72,6 +72,11 @@ type Record struct {
 	Expired         int `json:"expired"`
 	TransportErrors int `json:"transport_errors"`
 	OtherErrors     int `json:"other_errors"`
+	// ErrorCodes counts refusals by the machine-readable code of the
+	// unified error envelope (e.g. "saturated" vs "expired" vs
+	// "draining"), so a mixed failure mode is attributable without
+	// guessing from HTTP statuses.
+	ErrorCodes map[string]int `json:"error_codes,omitempty"`
 	// CacheHits counts responses served from a warm per-matrix entry.
 	CacheHits int `json:"cache_hits"`
 	// WallSeconds spans first send to last response; Throughput is
@@ -155,12 +160,12 @@ type Campaign struct {
 
 // CampaignCell is one recorded request template.
 type CampaignCell struct {
-	Name    string              `json:"name"`
-	Request server.SolveRequest `json:"request"`
+	Name    string           `json:"name"`
+	Request api.SolveRequest `json:"request"`
 	// RHS, when set, makes this a batched cell: the request is posted to
 	// /v1/solve/batch with these per-RHS seeds (Request's own seeds are
 	// ignored, matching the server's batch semantics).
-	RHS []server.BatchRHS `json:"rhs,omitempty"`
+	RHS []api.BatchRHS `json:"rhs,omitempty"`
 	// ResidualHash is the hash the cell answered with when recorded
 	// (set only if the cell was deterministic); on replay it becomes
 	// the expected value. Batched cells join their per-RHS hashes with
@@ -199,18 +204,21 @@ func main() {
 // cell is one template of the request mix.
 type cell struct {
 	name string
-	req  server.SolveRequest
+	req  api.SolveRequest
 	// rhs, when non-empty, posts the cell to /v1/solve/batch with these
 	// per-RHS seeds; the cell's hash is the per-RHS hashes joined with "+".
-	rhs []server.BatchRHS
+	rhs []api.BatchRHS
 	// wantHash is the recorded residual hash in replay mode ("" = none).
 	wantHash string
 }
 
 // outcome is one request's result.
 type outcome struct {
-	cell      int
-	status    int
+	cell   int
+	status int
+	// code is the machine-readable error-envelope code of a non-200
+	// answer ("" when the body carried no envelope).
+	code      string
 	hash      string
 	cacheHit  bool
 	solveErr  bool
@@ -391,7 +399,7 @@ func loadCampaign(path string) (Campaign, error) {
 		cc := &camp.Cells[i]
 		cc.Request.WithDefaults()
 		if len(cc.RHS) > 0 {
-			breq := server.BatchSolveRequest{SolveRequest: cc.Request, RHS: cc.RHS}
+			breq := api.BatchSolveRequest{SolveRequest: cc.Request, RHS: cc.RHS}
 			if err := breq.Validate(); err != nil {
 				return camp, fmt.Errorf("campaign %s: cell %q: %w", path, cc.Name, err)
 			}
@@ -498,20 +506,14 @@ func batchCheck(addr string, mix []cell, cells []MixCell, timeoutMS int) *BatchC
 	return bc
 }
 
-// fetchRouterz snapshots the router's shard map after the run.
+// fetchRouterz snapshots the router's shard map after the run through
+// the typed client.
 func fetchRouterz(addr string) (*RouterSummary, error) {
-	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Get(addr + "/routerz")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rz, err := api.NewClient(addr).Routerz(ctx)
 	if err != nil {
 		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/routerz answered %s", resp.Status)
-	}
-	var rz router.RouterzResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
-		return nil, fmt.Errorf("decoding /routerz: %w", err)
 	}
 	return &RouterSummary{
 		Shards:        len(rz.Shards),
@@ -553,7 +555,7 @@ func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, batc
 		for _, sv := range splitList(solvers) {
 			for _, sch := range splitList(schemes) {
 				spec := spec
-				req := server.SolveRequest{
+				req := api.SolveRequest{
 					Matrix: &spec, Solver: sv, Scheme: sch, Seed: seed,
 					TimeoutMillis: timeoutMS,
 				}
@@ -569,7 +571,7 @@ func buildMix(matrices, solvers, schemes string, alpha float64, seed int64, batc
 				if batch > 1 {
 					cl.name += fmt.Sprintf("/k%d", batch)
 					for i := 0; i < batch; i++ {
-						cl.rhs = append(cl.rhs, server.BatchRHS{Seed: seed + int64(i)})
+						cl.rhs = append(cl.rhs, api.BatchRHS{Seed: seed + int64(i)})
 					}
 				}
 				mix = append(mix, cl)
@@ -634,7 +636,7 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 	var payload any = &cl.req
 	if len(cl.rhs) > 0 {
 		path = "/v1/solve/batch"
-		payload = &server.BatchSolveRequest{SolveRequest: cl.req, RHS: cl.rhs}
+		payload = &api.BatchSolveRequest{SolveRequest: cl.req, RHS: cl.rhs}
 	}
 	body, err := json.Marshal(payload)
 	if err != nil {
@@ -651,11 +653,17 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 	defer resp.Body.Close()
 	out.status = resp.StatusCode
 	if resp.StatusCode != http.StatusOK {
-		io.Copy(io.Discard, resp.Body)
+		// Refusals carry the unified envelope: the code tells saturation
+		// from expiry from draining regardless of which tier answered.
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e api.Error
+		if json.Unmarshal(raw, &e) == nil {
+			out.code = e.Code
+		}
 		return out
 	}
 	if len(cl.rhs) > 0 {
-		var br server.BatchSolveResponse
+		var br api.BatchSolveResponse
 		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || len(br.Results) != len(cl.rhs) {
 			out.transport = true
 			return out
@@ -672,7 +680,7 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 		out.cacheHit = br.CacheHit
 		return out
 	}
-	var sr server.SolveResponse
+	var sr api.SolveResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		out.transport = true
 		return out
@@ -701,12 +709,21 @@ func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Dur
 	for _, o := range outcomes {
 		cells[o.cell].Requests++
 		latencies = append(latencies, float64(o.latency)/1e6)
+		if o.status != http.StatusOK && !o.transport && o.code != "" {
+			if rec.ErrorCodes == nil {
+				rec.ErrorCodes = make(map[string]int)
+			}
+			rec.ErrorCodes[o.code]++
+		}
+		// Classification prefers the envelope code over the HTTP status:
+		// a router relaying backpressure and a shard refusing directly
+		// stamp the same code even where statuses could blur.
 		switch {
 		case o.transport:
 			rec.TransportErrors++
-		case o.status == http.StatusTooManyRequests:
+		case o.code == api.CodeSaturated || (o.code == "" && o.status == http.StatusTooManyRequests):
 			rec.Rejected++
-		case o.status == http.StatusGatewayTimeout:
+		case o.code == api.CodeExpired || (o.code == "" && o.status == http.StatusGatewayTimeout):
 			rec.Expired++
 		case o.status != http.StatusOK:
 			rec.OtherErrors++
@@ -781,6 +798,20 @@ func writeSummary(w io.Writer, rec Record) error {
 		rec.SolveErrors+rec.TransportErrors+rec.OtherErrors, rec.CacheHits,
 		rec.Throughput, rec.Latency.P50Ms, rec.Latency.P90Ms, rec.Latency.P99Ms, rec.Latency.MaxMs); err != nil {
 		return err
+	}
+	if len(rec.ErrorCodes) > 0 {
+		codes := make([]string, 0, len(rec.ErrorCodes))
+		for c := range rec.ErrorCodes {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		parts := make([]string, len(codes))
+		for i, c := range codes {
+			parts[i] = fmt.Sprintf("%s=%d", c, rec.ErrorCodes[c])
+		}
+		if _, err := fmt.Fprintf(w, "error codes: %s\n", strings.Join(parts, " ")); err != nil {
+			return err
+		}
 	}
 	for _, cell := range rec.Mix {
 		mark := "ok"

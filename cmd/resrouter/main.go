@@ -5,16 +5,25 @@
 //
 //	resrouter -addr 127.0.0.1:8900 -topology shards.json
 //	resrouter -addr 127.0.0.1:8900 -spawn 3
+//	resrouter -addr 127.0.0.1:8900 -spawn 3 -supervise -shard-bin ./bin/resilientd
 //
 // The topology file lists the shard set (see internal/router.Topology);
 // entries with an empty addr — and every shard under -spawn — are
-// spawned in-process on ephemeral ports, so a laptop can run a whole
-// sharded deployment from one command. POST /v1/solve routes by matrix
-// identity with health-checked failover to the next ring replica; GET
-// /routerz exposes the shard map, key distribution and per-shard
-// inflight/latency stats; GET /v1/healthz reports the router itself.
-// SIGINT/SIGTERM drain gracefully: the router refuses new solves,
-// in-flight forwards complete, then spawned shards drain in turn.
+// materialised by the shard runtime: in-process servers by default, or
+// supervised resilientd child processes under -supervise (crashed
+// children restart with capped exponential backoff and re-admit through
+// the router's health probes). The topology is live: SIGHUP — and a
+// polling mtime watch (-topology-watch) — reloads the file and applies it
+// to the ring with minimal key movement; a malformed file is rejected and
+// the previous ring keeps serving. With -admin-token the token-gated
+// /v1/admin surface drains, adds and removes shards at runtime.
+//
+// POST /v1/solve routes by matrix identity with health-checked failover
+// to the next ring replica; GET /routerz exposes the shard map, key
+// distribution and per-shard inflight/latency stats; GET /v1/healthz
+// reports the router itself. SIGINT/SIGTERM drain gracefully: the router
+// refuses new solves, in-flight forwards complete, then managed shards
+// drain in turn.
 package main
 
 import (
@@ -30,7 +39,6 @@ import (
 	"time"
 
 	"repro/internal/router"
-	"repro/internal/server"
 )
 
 func main() {
@@ -42,26 +50,23 @@ func main() {
 	}
 }
 
-// spawnedShard is one in-process resilientd-equivalent: the service, its
-// listener-bound http.Server and the bound address.
-type spawnedShard struct {
-	name string
-	srv  *server.Server
-	hs   *http.Server
-	addr string
-}
-
-// run starts the router (and any spawned shards) and blocks until ctx is
-// cancelled or the listener fails. When started is non-nil it receives
-// the bound address once the listener is up.
+// run starts the router (and any runtime-managed shards) and blocks until
+// ctx is cancelled or the listener fails. When started is non-nil it
+// receives the bound address once the listener is up.
 func run(ctx context.Context, args []string, stderr io.Writer, started chan<- net.Addr) error {
 	fs := flag.NewFlagSet("resrouter", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		addr          = fs.String("addr", "127.0.0.1:8900", "listen address")
 		topoPath      = fs.String("topology", "", "JSON topology file naming the shard set")
-		spawn         = fs.Int("spawn", 0, "spawn this many in-process shards (instead of, or in addition to, -topology)")
-		workers       = fs.Int("workers", 0, "kernel pool size per spawned shard (resilientd -workers semantics)")
+		topoWatch     = fs.Duration("topology-watch", 2*time.Second, "poll the topology file for mtime changes this often and reload on change (0 = SIGHUP only)")
+		spawn         = fs.Int("spawn", 0, "materialise this many shards through the runtime (instead of, or in addition to, -topology)")
+		supervise     = fs.Bool("supervise", false, "materialise address-less shards as supervised resilientd child processes instead of in-process servers")
+		shardBin      = fs.String("shard-bin", "resilientd", "resilientd binary for -supervise (looked up in PATH unless a path is given)")
+		restartBase   = fs.Duration("restart-backoff", 250*time.Millisecond, "first restart delay for a crashed supervised shard (doubles per crash)")
+		restartMax    = fs.Duration("restart-max", 5*time.Second, "restart-delay cap for a crash-looping supervised shard")
+		adminToken    = fs.String("admin-token", "", "bearer token enabling the /v1/admin control plane (empty = disabled)")
+		workers       = fs.Int("workers", 0, "kernel pool size per managed shard (resilientd -workers semantics)")
 		vnodes        = fs.Int("vnodes", router.DefaultVnodes, "virtual nodes per shard on the hash ring")
 		replicas      = fs.Int("replicas", 2, "distinct ring replicas a request may try (owner + failovers)")
 		probeInterval = fs.Duration("probe-interval", 2*time.Second, "active health-check period")
@@ -69,56 +74,54 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that eject a shard")
 		reqTimeout    = fs.Duration("timeout", 2*time.Minute, "forwarded-request deadline when the request names none")
 		retryBody     = fs.Int64("retry-body-bytes", 0, "largest request body buffered for failover resends (0 = 8 MiB, negative = unbounded); larger requests get a single attempt")
-		quiet         = fs.Bool("q", false, "suppress startup and drain logging")
+		quiet         = fs.Bool("q", false, "suppress startup, reload and drain logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var topo router.Topology
-	if *topoPath != "" {
-		var err error
-		if topo, err = router.LoadTopology(*topoPath); err != nil {
-			return err
+	logf := func(format string, a ...any) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "resrouter: "+format+"\n", a...)
 		}
-	}
-	for i := 0; i < *spawn; i++ {
-		topo.Shards = append(topo.Shards, router.Shard{Name: fmt.Sprintf("spawn%d", i)})
-	}
-	if len(topo.Shards) == 0 {
-		return fmt.Errorf("no shards: provide -topology and/or -spawn")
 	}
 
-	// Materialise the shard set: attach where an addr is given, spawn
-	// in-process where it is not.
-	var spawned []*spawnedShard
-	drainSpawned := func() {
-		for _, sp := range spawned {
-			sp.srv.StartDraining()
-			sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-			_ = sp.hs.Shutdown(sctx)
-			cancel()
-			sp.srv.Shutdown()
+	// desiredTopology is the reload unit: the topology file (when given)
+	// plus the -spawn synthetic shards, revalidated as a whole.
+	desiredTopology := func() (router.Topology, error) {
+		var topo router.Topology
+		if *topoPath != "" {
+			var err error
+			if topo, err = router.LoadTopology(*topoPath); err != nil {
+				return topo, err
+			}
 		}
+		for i := 0; i < *spawn; i++ {
+			topo.Shards = append(topo.Shards, router.Shard{Name: fmt.Sprintf("spawn%d", i)})
+		}
+		if len(topo.Shards) == 0 {
+			return topo, fmt.Errorf("no shards: provide -topology and/or -spawn")
+		}
+		if err := topo.Validate(); err != nil {
+			return topo, err
+		}
+		return topo, nil
 	}
-	shards := make([]router.Shard, 0, len(topo.Shards))
-	for _, sh := range topo.Shards {
-		if sh.Addr != "" {
-			shards = append(shards, sh)
-			continue
-		}
-		srv := server.New(server.Config{Workers: *workers, ShardLabel: sh.Name})
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			srv.Shutdown()
-			drainSpawned()
-			return err
-		}
-		hs := &http.Server{Handler: srv.Handler()}
-		go hs.Serve(ln)
-		sp := &spawnedShard{name: sh.Name, srv: srv, hs: hs, addr: "http://" + ln.Addr().String()}
-		spawned = append(spawned, sp)
-		shards = append(shards, router.Shard{Name: sh.Name, Addr: sp.addr})
+	topo, err := desiredTopology()
+	if err != nil {
+		return err
+	}
+
+	var runtime router.ShardRuntime
+	if *supervise {
+		runtime = newProcRuntime(procConfig{
+			bin:        *shardBin,
+			workers:    *workers,
+			backoff:    *restartBase,
+			maxBackoff: *restartMax,
+			logf:       logf,
+		})
+	} else {
+		runtime = newLocalRuntime(*workers)
 	}
 
 	rt, err := router.New(router.Config{
@@ -129,32 +132,87 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		FailThreshold:  *failThreshold,
 		RequestTimeout: *reqTimeout,
 		RetryBodyBytes: *retryBody,
-	}, shards)
+		AdminToken:     *adminToken,
+		Runtime:        runtime,
+	}, topo.Shards)
 	if err != nil {
-		drainSpawned()
 		return err
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		rt.Shutdown()
-		drainSpawned()
 		return err
 	}
 	if started != nil {
 		started <- ln.Addr()
 	}
-	if !*quiet {
-		fmt.Fprintf(stderr, "resrouter: listening on %s, %d shards:\n", ln.Addr(), len(shards))
-		for _, sh := range shards {
-			mode := "attached"
-			for _, sp := range spawned {
-				if sp.name == sh.Name {
-					mode = "spawned"
-				}
-			}
-			fmt.Fprintf(stderr, "resrouter:   %-12s %s (%s)\n", sh.Name, sh.Addr, mode)
+	logf("listening on %s, %d shards:", ln.Addr(), len(topo.Shards))
+	for _, sh := range rt.CurrentTopology().Shards {
+		logf("  %-12s %s (%s)", sh.Name, sh.Addr, sh.State)
+	}
+	if *adminToken != "" {
+		logf("admin API enabled at /v1/admin (bearer token)")
+	}
+
+	// Live topology: SIGHUP and the mtime watch both funnel into one
+	// reload path. A reload that fails to parse or validate is rejected
+	// whole — the previous ring keeps serving.
+	sighup := make(chan os.Signal, 1)
+	signal.Notify(sighup, syscall.SIGHUP)
+	defer signal.Stop(sighup)
+	reload := func(reason string) {
+		next, err := desiredTopology()
+		if err != nil {
+			logf("reload (%s) rejected, keeping previous ring: %v", reason, err)
+			return
+		}
+		rep, err := rt.Apply(next)
+		if err != nil {
+			logf("reload (%s) rejected, keeping previous ring: %v", reason, err)
+			return
+		}
+		if rep.Changed() {
+			logf("reload (%s) applied: %s", reason, rep)
+		} else {
+			logf("reload (%s): no change", reason)
 		}
 	}
+	watcherDone := make(chan struct{})
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	defer stopWatch()
+	go func() {
+		defer close(watcherDone)
+		var tick <-chan time.Time
+		if *topoWatch > 0 && *topoPath != "" {
+			t := time.NewTicker(*topoWatch)
+			defer t.Stop()
+			tick = t.C
+		}
+		lastMod := time.Time{}
+		if fi, err := os.Stat(*topoPath); err == nil {
+			lastMod = fi.ModTime()
+		}
+		for {
+			select {
+			case <-watchCtx.Done():
+				return
+			case <-sighup:
+				reload("SIGHUP")
+			case <-tick:
+				fi, err := os.Stat(*topoPath)
+				if err != nil {
+					// A mid-rewrite window (move-over-rename) or a deleted
+					// file: keep serving the current ring, try again next
+					// tick.
+					continue
+				}
+				if mt := fi.ModTime(); !mt.Equal(lastMod) {
+					lastMod = mt
+					reload("mtime")
+				}
+			}
+		}
+	}()
 
 	hs := &http.Server{Handler: rt.Handler()}
 	serveErr := make(chan error, 1)
@@ -162,25 +220,24 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 
 	select {
 	case err := <-serveErr:
+		stopWatch()
+		<-watcherDone
 		rt.Shutdown()
-		drainSpawned()
 		return err
 	case <-ctx.Done():
 	}
-	if !*quiet {
-		fmt.Fprintln(stderr, "resrouter: draining")
-	}
+	logf("draining")
+	stopWatch()
+	<-watcherDone
 	// Drain outside-in: refuse new solves at the router, stop its
 	// listener so in-flight forwards deliver, then drain the router's
-	// forwards and finally the spawned shards' own queues.
+	// forwards and finally the managed shards (rt.Shutdown stops them
+	// through the runtime).
 	rt.StartDraining()
 	sctx, cancel := context.WithTimeout(context.Background(), *reqTimeout)
 	defer cancel()
 	httpErr := hs.Shutdown(sctx)
 	rt.Shutdown()
-	drainSpawned()
-	if !*quiet {
-		fmt.Fprintln(stderr, "resrouter: drained")
-	}
+	logf("drained")
 	return httpErr
 }

@@ -1,0 +1,278 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/router"
+)
+
+func writeTopology(t *testing.T, path string, names ...string) {
+	t.Helper()
+	topo := router.Topology{Schema: router.TopologySchemaVersion}
+	for _, n := range names {
+		topo.Shards = append(topo.Shards, router.Shard{Name: n})
+	}
+	blob, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func routerzShards(t *testing.T, base string) []api.ShardStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/routerz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rz api.RouterzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+		t.Fatal(err)
+	}
+	return rz.Shards
+}
+
+func waitForShardSet(t *testing.T, base string, want ...string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var got []string
+	for time.Now().Before(deadline) {
+		got = got[:0]
+		for _, s := range routerzShards(t, base) {
+			got = append(got, s.Name)
+		}
+		if strings.Join(got, ",") == strings.Join(want, ",") {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("shard set %v, want %v", got, want)
+}
+
+// TestTopologyMtimeReload boots with a fast mtime watch and grows, then
+// shrinks, the shard set purely by rewriting the topology file.
+func TestTopologyMtimeReload(t *testing.T) {
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	writeTopology(t, topo, "a", "b")
+	base, cancel, _ := boot(t, []string{
+		"-addr", "127.0.0.1:0", "-topology", topo, "-topology-watch", "25ms", "-workers", "1", "-q"})
+	defer cancel()
+
+	waitForShardSet(t, base, "a", "b")
+	writeTopology(t, topo, "a", "b", "c")
+	waitForShardSet(t, base, "a", "b", "c")
+
+	// The grown ring serves — including keys that now live on c.
+	for n := 16; n <= 48; n += 4 {
+		resp, raw := postJSON(t, base+"/v1/solve", `{"matrix":{"gen":"tridiag","n":`+jsonInt(n)+`},"seed":5}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("n=%d after grow: status %d: %s", n, resp.StatusCode, raw)
+		}
+	}
+
+	writeTopology(t, topo, "a", "b")
+	waitForShardSet(t, base, "a", "b")
+}
+
+// TestSIGHUPReload disables the mtime watch and reloads by signal only.
+func TestSIGHUPReload(t *testing.T) {
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	writeTopology(t, topo, "a", "b")
+	base, cancel, _ := boot(t, []string{
+		"-addr", "127.0.0.1:0", "-topology", topo, "-topology-watch", "0", "-workers", "1", "-q"})
+	defer cancel()
+	waitForShardSet(t, base, "a", "b")
+
+	// Rewriting the file alone must do nothing without the watch.
+	writeTopology(t, topo, "a", "b", "c")
+	time.Sleep(150 * time.Millisecond)
+	if got := routerzShards(t, base); len(got) != 2 {
+		t.Fatalf("shard set grew to %d without SIGHUP", len(got))
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	waitForShardSet(t, base, "a", "b", "c")
+}
+
+// TestMalformedRewriteKeepsPreviousRing rewrites the watched topology to
+// garbage: the reload is rejected, the old ring keeps serving, and the
+// watcher stays alive to apply the next good rewrite.
+func TestMalformedRewriteKeepsPreviousRing(t *testing.T) {
+	topo := filepath.Join(t.TempDir(), "topo.json")
+	writeTopology(t, topo, "a", "b")
+	base, cancel, _ := boot(t, []string{
+		"-addr", "127.0.0.1:0", "-topology", topo, "-topology-watch", "25ms", "-workers", "1", "-q"})
+	defer cancel()
+	waitForShardSet(t, base, "a", "b")
+
+	for _, garbage := range []string{
+		"{not json",
+		`{"schema":99,"shards":[{"name":"a"}]}`,
+		`{"schema":1,"shards":[{"name":"a"},{"name":"a"}]}`,
+	} {
+		if err := os.WriteFile(topo, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond) // several watch ticks
+		if got := routerzShards(t, base); len(got) != 2 {
+			t.Fatalf("malformed rewrite %q changed the shard set to %d", garbage, len(got))
+		}
+		resp, raw := postJSON(t, base+"/v1/solve", `{"matrix":{"gen":"poisson2d","n":36},"seed":5}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve after malformed rewrite: status %d: %s", resp.StatusCode, raw)
+		}
+	}
+
+	// The watcher survived all of it: a good rewrite still applies.
+	writeTopology(t, topo, "a", "b", "c")
+	waitForShardSet(t, base, "a", "b", "c")
+}
+
+// findShardPID scans /proc for a supervised child of bin serving the
+// named shard and returns its pid (0 if none).
+func findShardPID(t *testing.T, bin, shard string) int {
+	t.Helper()
+	entries, err := os.ReadDir("/proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join("/proc", e.Name(), "cmdline"))
+		if err != nil {
+			continue
+		}
+		argv := strings.Split(string(raw), "\x00")
+		if len(argv) == 0 || argv[0] != bin {
+			continue
+		}
+		for i, a := range argv {
+			if a == "-shard" && i+1 < len(argv) && argv[i+1] == shard {
+				return pid
+			}
+		}
+	}
+	return 0
+}
+
+// TestSuperviseRestartsKilledShard is the watchdog end-to-end: real
+// resilientd children under -supervise, one killed with SIGKILL, a fresh
+// process comes back on the same port, is re-admitted by the health
+// probes, and serves the same keys with bit-identical residual hashes.
+func TestSuperviseRestartsKilledShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real child processes")
+	}
+	bin := filepath.Join(t.TempDir(), "resilientd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/resilientd").CombinedOutput(); err != nil {
+		t.Fatalf("building resilientd: %v\n%s", err, out)
+	}
+
+	base, cancel, done := boot(t, []string{
+		"-addr", "127.0.0.1:0", "-spawn", "2", "-supervise", "-shard-bin", bin,
+		"-workers", "1", "-restart-backoff", "50ms", "-restart-max", "250ms",
+		"-probe-interval", "100ms", "-q"})
+	defer cancel()
+
+	// Baseline: owners and residual hashes per matrix.
+	type record struct{ owner, hash string }
+	baseline := map[int]record{}
+	solve := func(n int) (int, record) {
+		resp, raw := postJSON(t, base+"/v1/solve", `{"matrix":{"gen":"tridiag","n":`+jsonInt(n)+`},"seed":5}`)
+		var sr api.SolveResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &sr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, record{owner: resp.Header.Get("X-Resilient-Shard"), hash: sr.Result.ResidualHash}
+	}
+	sizes := []int{16, 20, 24, 28, 32, 36, 40, 44}
+	for _, n := range sizes {
+		code, rec := solve(n)
+		if code != http.StatusOK {
+			t.Fatalf("baseline n=%d: status %d", n, code)
+		}
+		baseline[n] = rec
+	}
+
+	victim := baseline[sizes[0]].owner
+	pid := findShardPID(t, bin, victim)
+	if pid == 0 {
+		t.Fatalf("no child process found for shard %s", victim)
+	}
+	if err := syscall.Kill(pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	// The supervisor must bring up a replacement process (new pid, same
+	// shard name, same port) and the probes re-admit it.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if np := findShardPID(t, bin, victim); np != 0 && np != pid {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("killed shard never restarted")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	for {
+		code, rec := solve(sizes[0])
+		if code == http.StatusOK && rec.owner == victim {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted shard %s never took its keys back (last: status %d owner %q)", victim, code, rec.owner)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Determinism across the whole episode: every key answers with its
+	// baseline hash, and the victim's keys are served by the victim again.
+	for _, n := range sizes {
+		code, rec := solve(n)
+		if code != http.StatusOK {
+			t.Errorf("n=%d after restart: status %d", n, code)
+			continue
+		}
+		if rec.hash != baseline[n].hash {
+			t.Errorf("n=%d: hash %s after restart, want %s", n, rec.hash, baseline[n].hash)
+		}
+		if rec.owner != baseline[n].owner {
+			t.Errorf("n=%d: owner %s after restart, want %s", n, rec.owner, baseline[n].owner)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not drain after cancel")
+	}
+	// Drain stops the supervised children for good.
+	if p := findShardPID(t, bin, victim); p != 0 {
+		t.Errorf("shard %s (pid %d) still running after drain", victim, p)
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/supervisor"
+)
+
+// localRuntime materialises shards as in-process servers: the laptop
+// deployment. Each Start builds a full internal/server instance on an
+// ephemeral port; Stop drains it like a resilientd receiving SIGTERM.
+type localRuntime struct {
+	workers int
+
+	mu     sync.Mutex
+	shards map[string]*localShard
+}
+
+type localShard struct {
+	srv *server.Server
+	hs  *http.Server
+}
+
+func newLocalRuntime(workers int) *localRuntime {
+	return &localRuntime{workers: workers, shards: make(map[string]*localShard)}
+}
+
+func (l *localRuntime) Start(name string) (string, error) {
+	srv := server.New(server.Config{Workers: l.workers, ShardLabel: name})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Shutdown()
+		return "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	l.mu.Lock()
+	l.shards[name] = &localShard{srv: srv, hs: hs}
+	l.mu.Unlock()
+	return "http://" + ln.Addr().String(), nil
+}
+
+func (l *localRuntime) Stop(name string) error {
+	l.mu.Lock()
+	sp := l.shards[name]
+	delete(l.shards, name)
+	l.mu.Unlock()
+	if sp == nil {
+		return nil
+	}
+	sp.srv.StartDraining()
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = sp.hs.Shutdown(sctx)
+	sp.srv.Shutdown()
+	return nil
+}
+
+// procRuntime materialises shards as supervised resilientd child
+// processes: the -supervise watchdog. A crashed child restarts with
+// capped exponential backoff on a stable port — the ring address never
+// changes — and rejoins traffic when the router's health probes see it
+// answer again, the same re-admission path as any ejected shard.
+type procRuntime struct {
+	cfg procConfig
+
+	mu       sync.Mutex
+	children map[string]*procShard
+}
+
+type procConfig struct {
+	bin        string
+	workers    int
+	backoff    time.Duration
+	maxBackoff time.Duration
+	logf       func(format string, a ...any)
+}
+
+type procShard struct {
+	child *supervisor.Child
+	addr  string
+}
+
+func newProcRuntime(cfg procConfig) *procRuntime {
+	return &procRuntime{cfg: cfg, children: make(map[string]*procShard)}
+}
+
+func (p *procRuntime) Start(name string) (string, error) {
+	// Reserve a port once and keep it across restarts: the ring address
+	// must stay stable while the supervisor cycles the process behind it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	hostport := ln.Addr().String()
+	ln.Close()
+
+	child := supervisor.Supervise(name, func() *exec.Cmd {
+		return exec.Command(p.cfg.bin,
+			"-addr", hostport,
+			"-shard", name,
+			"-workers", strconv.Itoa(p.cfg.workers),
+			"-q",
+		)
+	}, supervisor.Config{
+		Backoff:    p.cfg.backoff,
+		MaxBackoff: p.cfg.maxBackoff,
+		OnEvent:    p.logEvent,
+	})
+
+	addr := "http://" + hostport
+	if err := waitHealthy(addr, 15*time.Second); err != nil {
+		child.Stop()
+		return "", fmt.Errorf("shard %q never became healthy: %w", name, err)
+	}
+	p.mu.Lock()
+	p.children[name] = &procShard{child: child, addr: addr}
+	p.mu.Unlock()
+	return addr, nil
+}
+
+func (p *procRuntime) Stop(name string) error {
+	p.mu.Lock()
+	ps := p.children[name]
+	delete(p.children, name)
+	p.mu.Unlock()
+	if ps == nil {
+		return nil
+	}
+	ps.child.Stop()
+	return nil
+}
+
+func (p *procRuntime) logEvent(ev supervisor.Event) {
+	if p.cfg.logf == nil {
+		return
+	}
+	switch ev.Kind {
+	case "start":
+		p.cfg.logf("shard %s: started pid %d (restarts so far: %d)", ev.Name, ev.PID, ev.Restarts)
+	case "exit":
+		p.cfg.logf("shard %s: pid %d exited (%v); restart in %s", ev.Name, ev.PID, ev.Err, ev.Backoff)
+	case "start-error":
+		p.cfg.logf("shard %s: start failed (%v); retry in %s", ev.Name, ev.Err, ev.Backoff)
+	case "stop":
+		p.cfg.logf("shard %s: stopped", ev.Name)
+	}
+}
+
+// waitHealthy polls the shard's /v1/healthz until it answers 200 or the
+// deadline passes, so a freshly started child is accepting connections
+// before the router puts keys on it.
+func waitHealthy(base string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	client := &http.Client{Timeout: time.Second}
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("healthz answered %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return lastErr
+}

@@ -1,0 +1,207 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxResponseBytes bounds a decoded response body.
+const maxResponseBytes = 64 << 20
+
+// Client is the typed HTTP client over the whole wire contract: the solve
+// surface of a resilientd shard or a resrouter front end, plus the
+// router-only /routerz and token-authenticated /v1/admin surfaces.
+// Non-200 answers decode the unified envelope and come back as *Error, so
+// callers branch on the machine-readable code, never on message strings.
+type Client struct {
+	base  string
+	token string
+	hc    *http.Client
+}
+
+// ClientOption customises a Client.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithAdminToken attaches the bearer token the admin endpoints require.
+func WithAdminToken(token string) ClientOption {
+	return func(c *Client) { c.token = token }
+}
+
+// WithTimeout bounds every request issued by the client.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.hc.Timeout = d }
+}
+
+// NewClient builds a client for the service at base (e.g.
+// "http://127.0.0.1:8723").
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 2 * time.Minute},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Base returns the client's base URL.
+func (c *Client) Base() string { return c.base }
+
+// Solve posts one solve request.
+func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+	var out SolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// SolveBatch posts one batched multi-RHS solve request.
+func (c *Client) SolveBatch(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, error) {
+	var out BatchSolveResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/solve/batch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches /v1/healthz (shards and routers both serve it; the
+// router's body is RouterHealth — use RouterHealth for that).
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RouterHealth fetches a router's own /v1/healthz.
+func (c *Client) RouterHealth(ctx context.Context) (*RouterHealth, error) {
+	var out RouterHealth
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches a shard's /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Routerz fetches a router's /routerz shard map.
+func (c *Client) Routerz(ctx context.Context) (*RouterzResponse, error) {
+	var out RouterzResponse
+	if err := c.do(ctx, http.MethodGet, "/routerz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminTopology fetches the live topology through the admin API.
+func (c *Client) AdminTopology(ctx context.Context) (*AdminTopologyResponse, error) {
+	var out AdminTopologyResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/admin/topology", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminAddShard adds a shard to the ring (or re-admits a drained one).
+// An empty addr asks the router's shard runtime to materialise it.
+func (c *Client) AdminAddShard(ctx context.Context, name, addr string) (*AdminShardResponse, error) {
+	var out AdminShardResponse
+	req := AdminAddShardRequest{Name: name, Addr: addr}
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/shards", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminDrainShard latches the shard out of the ring: new keys route past
+// it, in-flight requests finish.
+func (c *Client) AdminDrainShard(ctx context.Context, name string) (*AdminShardResponse, error) {
+	var out AdminShardResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/admin/shards/"+name+"/drain", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// AdminRemoveShard removes the shard from the topology entirely.
+func (c *Client) AdminRemoveShard(ctx context.Context, name string) (*AdminRemoveResponse, error) {
+	var out AdminRemoveResponse
+	if err := c.do(ctx, http.MethodDelete, "/v1/admin/shards/"+name, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// do issues one request and decodes the answer: 200 into out, anything
+// else into the unified envelope returned as *Error. A non-envelope error
+// body (a crashed proxy, a non-API server) still yields an *Error with
+// CodeInternal and the raw body as the message.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("%s %s: reading response: %w", method, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e Error
+		if json.Unmarshal(raw, &e) != nil || e.Message == "" {
+			e = Error{
+				Schema:  SchemaVersion,
+				Code:    CodeForStatus(resp.StatusCode),
+				Message: fmt.Sprintf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(raw)),
+			}
+		}
+		return &e
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+	}
+	return nil
+}

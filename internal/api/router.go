@@ -1,0 +1,113 @@
+package api
+
+// RouterzResponse is the body of GET /routerz.
+type RouterzResponse struct {
+	Schema        int           `json:"schema"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Vnodes        int           `json:"vnodes"`
+	Replicas      int           `json:"replicas"`
+	Draining      bool          `json:"draining"`
+	Shards        []ShardStatus `json:"shards"`
+	HealthyShards int           `json:"healthy_shards"`
+	// Routed counts requests answered through the ring; Failovers counts
+	// attempts past a key's owner; Unroutable counts requests every
+	// candidate failed.
+	Routed     int64           `json:"routed"`
+	Failovers  int64           `json:"failovers"`
+	Unroutable int64           `json:"unroutable"`
+	Keys       KeyDistribution `json:"keys"`
+}
+
+// Shard lifecycle states reported by /routerz and the admin API. A shard
+// is active when it is on the ring and passing health probes, ejected
+// when probes (or passive circuit-breaking) took it out of rotation, and
+// draining when an operator latched it out of the ring: new keys route
+// past it, in-flight requests finish, and only an admin re-add returns it
+// to service — probe outcomes keep updating its health picture but cannot
+// clear the latch.
+const (
+	ShardActive   = "active"
+	ShardEjected  = "ejected"
+	ShardDraining = "draining"
+)
+
+// ShardStatus is one shard's live picture in /routerz.
+type ShardStatus struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// State is the lifecycle state: active, ejected or draining.
+	State               string  `json:"state"`
+	Healthy             bool    `json:"healthy"`
+	ConsecutiveFailures int     `json:"consecutive_failures"`
+	EWMALatencyMs       float64 `json:"ewma_latency_ms"`
+	LastError           string  `json:"last_error,omitempty"`
+	LastProbeAgeSeconds float64 `json:"last_probe_age_seconds,omitempty"`
+	Inflight            int64   `json:"inflight"`
+	Routed              int64   `json:"routed"`
+	Errors              int64   `json:"errors"`
+	// VNodes is the shard's virtual-node count on the ring (0 while
+	// draining — a drained shard owns no keys).
+	VNodes int `json:"vnodes"`
+}
+
+// KeyDistribution reports how many distinct routing keys this router has
+// seen and which shard each landed on. Tracking is bounded: when
+// Saturated is true, Distinct is a floor and keys beyond the bound are
+// unattributed.
+type KeyDistribution struct {
+	Distinct  int            `json:"distinct"`
+	Saturated bool           `json:"saturated,omitempty"`
+	PerShard  map[string]int `json:"per_shard"`
+}
+
+// RouterHealth is the body of the router's own GET /v1/healthz.
+type RouterHealth struct {
+	Schema        int    `json:"schema"`
+	Status        string `json:"status"`
+	HealthyShards int    `json:"healthy_shards"`
+	TotalShards   int    `json:"total_shards"`
+}
+
+// AdminShard is one shard of the admin API's topology picture.
+type AdminShard struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// State is the lifecycle state: active, ejected or draining.
+	State   string `json:"state"`
+	Healthy bool   `json:"healthy"`
+	// Inflight counts requests currently forwarded to this shard — the
+	// signal an operator watches reach zero before removing a drained
+	// shard.
+	Inflight int64 `json:"inflight"`
+}
+
+// AdminTopologyResponse is the body of GET /v1/admin/topology.
+type AdminTopologyResponse struct {
+	Schema   int          `json:"schema"`
+	Vnodes   int          `json:"vnodes"`
+	Replicas int          `json:"replicas"`
+	Shards   []AdminShard `json:"shards"`
+}
+
+// AdminAddShardRequest is the body of POST /v1/admin/shards: add a new
+// shard to the ring, or re-admit a drained one (matching Name). An empty
+// Addr asks the router's shard runtime to materialise the process.
+type AdminAddShardRequest struct {
+	// Schema must be 0 (current) or SchemaVersion.
+	Schema int    `json:"schema,omitempty"`
+	Name   string `json:"name"`
+	Addr   string `json:"addr,omitempty"`
+}
+
+// AdminShardResponse is the body of a successful shard add or drain.
+type AdminShardResponse struct {
+	Schema int        `json:"schema"`
+	Shard  AdminShard `json:"shard"`
+}
+
+// AdminRemoveResponse is the body of a successful DELETE
+// /v1/admin/shards/{label}.
+type AdminRemoveResponse struct {
+	Schema  int    `json:"schema"`
+	Removed string `json:"removed"`
+}

@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/server"
+	"repro/internal/api"
 )
 
 // ewmaAlpha weights the latest latency sample in the per-shard EWMA:
@@ -20,14 +20,25 @@ const ewmaAlpha = 0.3
 // and passive per-request observations.
 type shardState struct {
 	name string
-	addr string // base URL, e.g. http://127.0.0.1:8723
+	// managed marks a shard whose process the router's ShardRuntime
+	// started (topology entry or admin add with no addr): removal stops
+	// the process too. Immutable after creation.
+	managed bool
 
 	mu sync.Mutex
+	// addr is the shard's base URL, e.g. http://127.0.0.1:8723. Guarded
+	// by mu: a topology reload may repoint a retained shard.
+	addr string
 	// healthy gates routing: an unhealthy shard is skipped at candidate
 	// selection (still probed, and re-admitted on the next good probe).
 	// Shards start healthy — a router in front of a live shard set must
 	// route before the first probe round completes.
 	healthy bool
+	// drained is the admin drain latch: a drained shard is off the ring
+	// (new keys route past it) and stays out no matter what the probes
+	// say — only an admin re-add clears the latch. Probes keep running so
+	// the health picture stays current while the shard coasts to idle.
+	drained bool
 	// probeFails counts consecutive active-probe failures; at
 	// FailThreshold the shard is ejected.
 	probeFails int
@@ -49,6 +60,51 @@ func (s *shardState) isHealthy() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.healthy
+}
+
+// isRoutable reports whether new keys may be sent here: healthy and not
+// latched out by an admin drain.
+func (s *shardState) isRoutable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy && !s.drained
+}
+
+func (s *shardState) setDrained(d bool) {
+	s.mu.Lock()
+	s.drained = d
+	s.mu.Unlock()
+}
+
+func (s *shardState) isDrained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained
+}
+
+// baseURL returns the shard's current base address.
+func (s *shardState) baseURL() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+func (s *shardState) setAddr(addr string) {
+	s.mu.Lock()
+	s.addr = addr
+	s.mu.Unlock()
+}
+
+// stateLocked names the lifecycle state. Callers hold s.mu.
+func (s *shardState) stateLocked() string {
+	switch {
+	case s.drained:
+		return api.ShardDraining
+	case !s.healthy:
+		return api.ShardEjected
+	default:
+		return api.ShardActive
+	}
 }
 
 func (s *shardState) observeLatency(d time.Duration) {
@@ -109,12 +165,17 @@ func (s *shardState) notePassive(ok bool, errText string, threshold int) {
 	s.mu.Unlock()
 }
 
-// status snapshots the shard for /routerz.
+// status snapshots the shard for /routerz. A drained shard owns no ring
+// points, so its VNodes report as zero.
 func (s *shardState) status(vnodes int) ShardStatus {
 	s.mu.Lock()
+	if s.drained {
+		vnodes = 0
+	}
 	st := ShardStatus{
 		Name:                s.name,
 		Addr:                s.addr,
+		State:               s.stateLocked(),
 		Healthy:             s.healthy,
 		ConsecutiveFailures: max(s.probeFails, s.passiveFails),
 		EWMALatencyMs:       s.ewmaMs,
@@ -148,8 +209,16 @@ func (r *Router) probeLoop(t *time.Ticker) {
 }
 
 func (r *Router) probeAll() {
-	var wg sync.WaitGroup
+	// Snapshot the shard set: a concurrent topology apply may grow or
+	// shrink r.shards while the round is in flight.
+	r.ringMu.RLock()
+	shards := make([]*shardState, 0, len(r.shards))
 	for _, s := range r.shards {
+		shards = append(shards, s)
+	}
+	r.ringMu.RUnlock()
+	var wg sync.WaitGroup
+	for _, s := range shards {
 		wg.Add(1)
 		go func(s *shardState) {
 			defer wg.Done()
@@ -164,7 +233,7 @@ func (r *Router) probeAll() {
 // shard reports itself unhealthy here on purpose — it refuses new solves
 // with 503, so routing must move its keys to the next replica now.
 func (r *Router) probe(s *shardState) {
-	req, err := http.NewRequest(http.MethodGet, s.addr+"/v1/healthz", nil)
+	req, err := http.NewRequest(http.MethodGet, s.baseURL()+"/v1/healthz", nil)
 	if err != nil {
 		s.noteProbe(false, err.Error(), 0, r.cfg.FailThreshold)
 		return
@@ -179,7 +248,7 @@ func (r *Router) probe(s *shardState) {
 		return
 	}
 	defer resp.Body.Close()
-	var h server.HealthResponse
+	var h api.HealthResponse
 	switch {
 	case resp.StatusCode != http.StatusOK:
 		s.noteProbe(false, "healthz status "+resp.Status, latency, r.cfg.FailThreshold)

@@ -1,0 +1,173 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/api"
+)
+
+// MockShard is a stand-in resilientd for contract tests: it speaks just
+// enough of the wire protocol — /v1/healthz and deterministic /v1/solve
+// answers — that the router's routing, draining, probing and admin paths
+// can be exercised without spawning real solver processes. The solve
+// answer is a pure function of the request body and the shard's name, so
+// a test can tell which shard served a key and assert that re-routing
+// moved exactly the keys it expected.
+type MockShard struct {
+	name string
+	srv  *http.Server
+	ln   net.Listener
+	url  string
+
+	healthy atomic.Bool
+	solves  atomic.Int64
+
+	closeOnce sync.Once
+}
+
+// NewMockShard starts a mock shard on an ephemeral localhost port.
+func NewMockShard(name string) (*MockShard, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	m := &MockShard{
+		name: name,
+		ln:   ln,
+		url:  "http://" + ln.Addr().String(),
+	}
+	m.healthy.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", m.handleHealthz)
+	mux.HandleFunc("/v1/solve", m.handleSolve)
+	mux.HandleFunc("/v1/solve/batch", m.handleSolve)
+	m.srv = &http.Server{Handler: mux}
+	go m.srv.Serve(ln)
+	return m, nil
+}
+
+// URL returns the shard's base URL.
+func (m *MockShard) URL() string { return m.url }
+
+// Name returns the shard's label.
+func (m *MockShard) Name() string { return m.name }
+
+// Solves counts the solve requests this shard answered.
+func (m *MockShard) Solves() int64 { return m.solves.Load() }
+
+// SetHealthy flips what /v1/healthz reports, so tests can drive the
+// router's ejection and re-admission paths.
+func (m *MockShard) SetHealthy(ok bool) { m.healthy.Store(ok) }
+
+// Kill hard-closes the listener — from the router's side the shard
+// vanishes mid-flight, like a kill -9.
+func (m *MockShard) Kill() {
+	m.closeOnce.Do(func() {
+		m.ln.Close()
+		m.srv.Close()
+	})
+}
+
+func (m *MockShard) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if !m.healthy.Load() {
+		api.WriteJSON(w, http.StatusOK, api.HealthResponse{Schema: api.SchemaVersion, Status: "unhealthy"})
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, api.HealthResponse{Schema: api.SchemaVersion, Status: "ok"})
+}
+
+// handleSolve answers with a deterministic fake result: the residual-hash
+// field is an FNV-1a digest of the request body alone (stable across
+// shards, like the real engine), while the X-Mock-Shard header names the
+// serving shard so tests can observe placement.
+func (m *MockShard) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, fmt.Errorf("POST only"), 0)
+		return
+	}
+	var body json.RawMessage
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err, 0)
+		return
+	}
+	m.solves.Add(1)
+	canon, _ := json.Marshal(body)
+	h := fnv.New64a()
+	h.Write(canon)
+	w.Header().Set("X-Mock-Shard", m.name)
+	resp := api.SolveResponse{Schema: api.SchemaVersion}
+	resp.Result.Schema = api.SchemaVersion
+	resp.Result.Reps = 1
+	resp.Result.Converged = 1
+	resp.Result.ResidualHash = fmt.Sprintf("mock-%016x", h.Sum64())
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// MockRuntime is a ShardRuntime backed by MockShards: the router's
+// "materialise this shard" requests start in-memory mock servers instead
+// of real processes. Tests reach the underlying shards through Get to
+// flip health or kill them.
+type MockRuntime struct {
+	mu     sync.Mutex
+	shards map[string]*MockShard
+	// StartErr, when set, makes every Start fail — for exercising the
+	// apply-abort path.
+	StartErr error
+}
+
+// NewMockRuntime builds an empty runtime.
+func NewMockRuntime() *MockRuntime {
+	return &MockRuntime{shards: make(map[string]*MockShard)}
+}
+
+// Start launches a mock shard for the name and returns its base URL.
+func (rt *MockRuntime) Start(name string) (string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.StartErr != nil {
+		return "", rt.StartErr
+	}
+	if _, ok := rt.shards[name]; ok {
+		return "", fmt.Errorf("mock runtime: shard %q already running", name)
+	}
+	m, err := NewMockShard(name)
+	if err != nil {
+		return "", err
+	}
+	rt.shards[name] = m
+	return m.URL(), nil
+}
+
+// Stop kills the named mock shard. Idempotent.
+func (rt *MockRuntime) Stop(name string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if m, ok := rt.shards[name]; ok {
+		m.Kill()
+		delete(rt.shards, name)
+	}
+	return nil
+}
+
+// Get returns the live mock shard for the name, or nil.
+func (rt *MockRuntime) Get(name string) *MockShard {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.shards[name]
+}
+
+// StopAll kills every running mock shard.
+func (rt *MockRuntime) StopAll() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for name, m := range rt.shards {
+		m.Kill()
+		delete(rt.shards, name)
+	}
+}

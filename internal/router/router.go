@@ -8,16 +8,28 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/server"
 )
 
-// SchemaVersion identifies the /routerz layout. Bump on incompatible
-// changes.
-const SchemaVersion = 1
+// SchemaVersion identifies the wire layout of every router endpoint —
+// /routerz, /v1/healthz, the admin surface and the error envelope. It is
+// the shared contract version from internal/api.
+const SchemaVersion = api.SchemaVersion
+
+// Wire types, aliased from the shared contract package. See internal/api
+// for field documentation.
+type (
+	RouterzResponse = api.RouterzResponse
+	ShardStatus     = api.ShardStatus
+	KeyDistribution = api.KeyDistribution
+	RouterHealth    = api.RouterHealth
+)
 
 // maxBodyBytes mirrors the shard-side request bound.
 const maxBodyBytes = 64 << 20
@@ -26,6 +38,12 @@ const maxBodyBytes = 64 << 20
 // once full, unseen keys are no longer tracked — /routerz then reports
 // the distribution as saturated and its distinct count as a floor.
 const maxTrackedKeys = 4096
+
+// Retry-After hints relayed with refusals, mirroring the shard side.
+const (
+	retryAfterSaturatedMillis = 250
+	retryAfterDrainingMillis  = 1000
+)
 
 // Config parameterises the router. Zero values select the defaults.
 type Config struct {
@@ -52,6 +70,14 @@ type Config struct {
 	// cap — huge inline matrices — are forwarded to the key's owner only,
 	// in a single attempt, instead of pinning the buffer across retries.
 	RetryBodyBytes int64
+	// AdminToken enables the /v1/admin surface: requests must carry it as
+	// a bearer token. Empty disables the surface entirely (403).
+	AdminToken string
+	// Runtime materialises shards declared without an address — topology
+	// entries and admin adds whose addr is empty ask it to start the
+	// process and report where it listens. Nil means address-less shards
+	// are rejected.
+	Runtime ShardRuntime
 }
 
 func (c Config) withDefaults() Config {
@@ -80,17 +106,25 @@ func (c Config) withDefaults() Config {
 }
 
 // Shard names one routing target: a unique label and the base URL of a
-// resilientd process.
+// resilientd process. An empty Addr asks the configured ShardRuntime to
+// materialise the process.
 type Shard struct {
 	Name string `json:"name"`
 	Addr string `json:"addr"`
 }
 
 // Router is the consistent-hash routing tier. Construct with New, mount
-// Handler, Shutdown to drain.
+// Handler, Shutdown to drain. Topology is live: Apply, AddShard,
+// DrainShard and RemoveShard reshape the ring under traffic with minimal
+// key movement.
 type Router struct {
-	cfg    Config
-	client *http.Client
+	cfg     Config
+	client  *http.Client
+	runtime ShardRuntime
+
+	// applyMu serialises topology mutations (Apply and the admin verbs)
+	// against each other; readers of ring/shards take ringMu only.
+	applyMu sync.Mutex
 
 	ringMu sync.RWMutex
 	ring   *Ring
@@ -119,7 +153,8 @@ type Router struct {
 
 // New builds a router over the shard set and starts its health prober.
 // Shards start healthy (optimistic admission); the prober ejects dead
-// ones within FailThreshold probe intervals.
+// ones within FailThreshold probe intervals. Shards with an empty Addr
+// are materialised through cfg.Runtime.
 func New(cfg Config, shards []Shard) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if len(shards) == 0 {
@@ -128,6 +163,7 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	r := &Router{
 		cfg:     cfg,
 		client:  &http.Client{},
+		runtime: cfg.Runtime,
 		ring:    NewRing(cfg.Vnodes),
 		shards:  make(map[string]*shardState, len(shards)),
 		keys:    make(map[uint64]string),
@@ -135,13 +171,17 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 		stop:    make(chan struct{}),
 	}
 	for _, sh := range shards {
-		if sh.Name == "" || sh.Addr == "" {
-			return nil, fmt.Errorf("router: shard needs both name and addr (got %+v)", sh)
+		if sh.Name == "" {
+			return nil, fmt.Errorf("router: shard needs a name (got %+v)", sh)
 		}
 		if _, dup := r.shards[sh.Name]; dup {
 			return nil, fmt.Errorf("router: duplicate shard name %q", sh.Name)
 		}
-		r.shards[sh.Name] = &shardState{name: sh.Name, addr: sh.Addr, healthy: true}
+		st, err := r.materialize(sh)
+		if err != nil {
+			return nil, err
+		}
+		r.shards[sh.Name] = st
 		r.ring.Add(sh.Name)
 	}
 	mux := http.NewServeMux()
@@ -149,13 +189,34 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	mux.HandleFunc("/v1/solve/batch", r.handleSolveBatch)
 	mux.HandleFunc("/routerz", r.handleRouterz)
 	mux.HandleFunc("/v1/healthz", r.handleHealthz)
+	r.mountAdmin(mux)
 	r.mux = mux
 	r.probing.Add(1)
 	go r.probeLoop(time.NewTicker(cfg.ProbeInterval))
 	return r, nil
 }
 
-// Handler returns the HTTP API: /v1/solve (routed), /routerz, /v1/healthz.
+// materialize turns a topology entry into live shard state, starting the
+// process through the runtime when the entry names no address.
+func (r *Router) materialize(sh Shard) (*shardState, error) {
+	addr := sh.Addr
+	managed := false
+	if addr == "" {
+		if r.runtime == nil {
+			return nil, fmt.Errorf("router: shard %q has no addr and no runtime is configured", sh.Name)
+		}
+		started, err := r.runtime.Start(sh.Name)
+		if err != nil {
+			return nil, fmt.Errorf("router: starting shard %q: %w", sh.Name, err)
+		}
+		addr = started
+		managed = true
+	}
+	return &shardState{name: sh.Name, addr: addr, managed: managed, healthy: true}, nil
+}
+
+// Handler returns the HTTP API: /v1/solve (routed), /routerz,
+// /v1/healthz and the token-gated /v1/admin surface.
 func (r *Router) Handler() http.Handler { return r.mux }
 
 // StartDraining refuses new solves with 503 without blocking.
@@ -166,20 +227,34 @@ func (r *Router) StartDraining() {
 }
 
 // Shutdown drains: new solves are refused, in-flight forwards complete,
-// the prober stops. Idempotent.
+// the prober stops, runtime-managed shards are stopped. Idempotent.
 func (r *Router) Shutdown() {
 	r.StartDraining()
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.probing.Wait()
 	r.inflight.Wait()
+	if r.runtime != nil {
+		r.ringMu.RLock()
+		var managed []string
+		for n, s := range r.shards {
+			if s.managed {
+				managed = append(managed, n)
+			}
+		}
+		r.ringMu.RUnlock()
+		for _, n := range managed {
+			_ = r.runtime.Stop(n)
+		}
+	}
 	r.client.CloseIdleConnections()
 }
 
 // candidates returns the failover sequence for a key: up to Replicas
-// distinct ring successors, healthy shards first (in ring order), then —
+// distinct ring successors, routable shards first (in ring order), then —
 // only if every candidate is ejected — the unhealthy ones anyway, so a
 // fully-ejected shard set degrades to optimistic forwarding instead of
-// refusing outright.
+// refusing outright. Drained shards are never candidates: they are off
+// the ring, so Successors cannot name them.
 func (r *Router) candidates(key string) []*shardState {
 	r.ringMu.RLock()
 	names := r.ring.Successors(key, r.cfg.Replicas)
@@ -187,7 +262,7 @@ func (r *Router) candidates(key string) []*shardState {
 	var down []*shardState
 	for _, n := range names {
 		if s := r.shards[n]; s != nil {
-			if s.isHealthy() {
+			if s.isRoutable() {
 				out = append(out, s)
 			} else {
 				down = append(down, s)
@@ -209,6 +284,19 @@ func (r *Router) trackKey(key string, shard string) {
 	r.keysMu.Unlock()
 }
 
+// forgetShardKeys drops the key attributions of a shard leaving the ring
+// (drain or removal): its keys re-attribute to their new owners as
+// traffic replays them, so /routerz reflects the post-change placement.
+func (r *Router) forgetShardKeys(name string) {
+	r.keysMu.Lock()
+	for h, shard := range r.keys {
+		if shard == name {
+			delete(r.keys, h)
+		}
+	}
+	r.keysMu.Unlock()
+}
+
 func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 	r.routeSolve(w, req, "/v1/solve")
 }
@@ -223,13 +311,13 @@ func (r *Router) handleSolveBatch(w http.ResponseWriter, req *http.Request) {
 // matrix — so batched and single solves of one matrix warm one shard.
 func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path string) {
 	if req.Method != http.MethodPost {
-		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, errors.New("POST only"), 0)
 		return
 	}
 	r.drainMu.RLock()
 	if r.draining.Load() {
 		r.drainMu.RUnlock()
-		respondErr(w, http.StatusServiceUnavailable, errors.New("router: shutting down"))
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errors.New("router: shutting down"), retryAfterDrainingMillis)
 		return
 	}
 	r.inflight.Add(1)
@@ -240,30 +328,30 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	// and a retry on the next replica needs to resend it bit-identically.
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
-		respondErr(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		respondBadRequest(w, fmt.Errorf("reading request: %w", err))
 		return
 	}
-	var sreq server.SolveRequest
+	var sreq api.SolveRequest
 	if path == "/v1/solve/batch" {
-		var breq server.BatchSolveRequest
+		var breq api.BatchSolveRequest
 		if err := json.Unmarshal(body, &breq); err != nil {
-			respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			respondBadRequest(w, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		breq.WithDefaults()
 		if err := breq.Validate(); err != nil {
-			respondErr(w, http.StatusBadRequest, err)
+			respondBadRequest(w, err)
 			return
 		}
 		sreq = breq.SolveRequest
 	} else {
 		if err := json.Unmarshal(body, &sreq); err != nil {
-			respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			respondBadRequest(w, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		sreq.WithDefaults()
 		if err := sreq.Validate(); err != nil {
-			respondErr(w, http.StatusBadRequest, err)
+			respondBadRequest(w, err)
 			return
 		}
 	}
@@ -271,13 +359,13 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	// artifacts warm exactly one shard.
 	id, err := server.ResolveIdentity(&sreq)
 	if err != nil {
-		respondErr(w, http.StatusBadRequest, err)
+		respondBadRequest(w, err)
 		return
 	}
 	cands := r.candidates(id.Key)
 	if len(cands) == 0 {
 		r.unroutable.Add(1)
-		respondErr(w, http.StatusBadGateway, errors.New("router: no shard available"))
+		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable, errors.New("router: no shard available"), 0)
 		return
 	}
 	if r.cfg.RetryBodyBytes > 0 && int64(len(body)) > r.cfg.RetryBodyBytes {
@@ -312,16 +400,21 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		}
 	}
 	r.unroutable.Add(1)
-	code := http.StatusBadGateway
+	status := http.StatusBadGateway
+	code := api.CodeUnroutable
+	retry := 0
 	switch {
 	case ctx.Err() != nil:
-		code = http.StatusGatewayTimeout
+		status = http.StatusGatewayTimeout
+		code = api.CodeExpired
 	case errors.Is(lastErr, errSaturated):
 		// Every candidate was merely full: relay the backpressure as the
 		// 429 a single shard would have answered.
-		code = http.StatusTooManyRequests
+		status = http.StatusTooManyRequests
+		code = api.CodeSaturated
+		retry = retryAfterSaturatedMillis
 	}
-	respondErr(w, code, fmt.Errorf("router: all %d candidate shards failed, last: %w", len(cands), lastErr))
+	api.WriteError(w, status, code, fmt.Errorf("router: all %d candidate shards failed, last: %w", len(cands), lastErr), retry)
 }
 
 // errSaturated marks a 429 refusal: retryable on the next replica, and
@@ -337,7 +430,7 @@ var errSaturated = errors.New("shard queue saturated (429)")
 // actually computed — 200s, validation 4xxs, solver 5xxs — are relayed,
 // not retried: the next shard would compute the identical answer.
 func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, path string, body []byte, isRetry bool) (bool, error) {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+path, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}
@@ -398,11 +491,17 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 
 func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodGet {
-		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, errors.New("GET only"), 0)
 		return
 	}
+	// Iterate the shard map, not the ring: drained shards are off the
+	// ring but operators still need to watch them coast to idle.
 	r.ringMu.RLock()
-	names := r.ring.Shards()
+	names := make([]string, 0, len(r.shards))
+	for n := range r.shards {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	statuses := make([]ShardStatus, 0, len(names))
 	healthy := 0
 	for _, n := range names {
@@ -422,7 +521,7 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 	}
 	r.keysMu.Unlock()
 
-	writeJSON(w, http.StatusOK, RouterzResponse{
+	api.WriteJSON(w, http.StatusOK, RouterzResponse{
 		Schema:        SchemaVersion,
 		UptimeSeconds: time.Since(r.started).Seconds(),
 		Vnodes:        r.cfg.Vnodes,
@@ -455,7 +554,7 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	}
 	total := len(r.shards)
 	r.ringMu.RUnlock()
-	writeJSON(w, http.StatusOK, RouterHealth{
+	api.WriteJSON(w, http.StatusOK, RouterHealth{
 		Schema:        SchemaVersion,
 		Status:        status,
 		HealthyShards: healthy,
@@ -463,67 +562,10 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	})
 }
 
-// RouterzResponse is the body of GET /routerz.
-type RouterzResponse struct {
-	Schema        int           `json:"schema"`
-	UptimeSeconds float64       `json:"uptime_seconds"`
-	Vnodes        int           `json:"vnodes"`
-	Replicas      int           `json:"replicas"`
-	Draining      bool          `json:"draining"`
-	Shards        []ShardStatus `json:"shards"`
-	HealthyShards int           `json:"healthy_shards"`
-	// Routed counts requests answered through the ring; Failovers counts
-	// attempts past a key's owner; Unroutable counts requests every
-	// candidate failed.
-	Routed     int64           `json:"routed"`
-	Failovers  int64           `json:"failovers"`
-	Unroutable int64           `json:"unroutable"`
-	Keys       KeyDistribution `json:"keys"`
-}
-
-// ShardStatus is one shard's live picture in /routerz.
-type ShardStatus struct {
-	Name                string  `json:"name"`
-	Addr                string  `json:"addr"`
-	Healthy             bool    `json:"healthy"`
-	ConsecutiveFailures int     `json:"consecutive_failures"`
-	EWMALatencyMs       float64 `json:"ewma_latency_ms"`
-	LastError           string  `json:"last_error,omitempty"`
-	LastProbeAgeSeconds float64 `json:"last_probe_age_seconds,omitempty"`
-	Inflight            int64   `json:"inflight"`
-	Routed              int64   `json:"routed"`
-	Errors              int64   `json:"errors"`
-	VNodes              int     `json:"vnodes"`
-}
-
-// KeyDistribution reports how many distinct routing keys this router has
-// seen and which shard each landed on. Tracking is bounded at
-// maxTrackedKeys: when Saturated is true, Distinct is a floor and keys
-// beyond the bound are unattributed.
-type KeyDistribution struct {
-	Distinct  int            `json:"distinct"`
-	Saturated bool           `json:"saturated,omitempty"`
-	PerShard  map[string]int `json:"per_shard"`
-}
-
-// RouterHealth is the body of the router's own GET /v1/healthz.
-type RouterHealth struct {
-	Schema        int    `json:"schema"`
-	Status        string `json:"status"`
-	HealthyShards int    `json:"healthy_shards"`
-	TotalShards   int    `json:"total_shards"`
-}
-
 func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func respondErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, server.ErrorResponse{Schema: server.SchemaVersion, Error: err.Error()})
+func respondBadRequest(w http.ResponseWriter, err error) {
+	api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, err, 0)
 }

@@ -400,8 +400,8 @@ func TestRouterValidation(t *testing.T) {
 		var er server.ErrorResponse
 		json.NewDecoder(resp.Body).Decode(&er)
 		resp.Body.Close()
-		if resp.StatusCode != tc.code || er.Error == "" {
-			t.Errorf("%s: status %d (err %q), want %d with an error body", tc.name, resp.StatusCode, er.Error, tc.code)
+		if resp.StatusCode != tc.code || er.Message == "" {
+			t.Errorf("%s: status %d (err %q), want %d with an error body", tc.name, resp.StatusCode, er.Message, tc.code)
 		}
 	}
 	if got := fakes[0].servedCount(); got != 0 {

@@ -1,0 +1,91 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// TestEveryEndpointStampsSchema sweeps the router's whole HTTP surface —
+// success bodies, error envelopes, the admin plane, auth failures — and
+// asserts every single response carries the wire schema version. A client
+// must be able to version-check any answer it gets, including rejections.
+func TestEveryEndpointStampsSchema(t *testing.T) {
+	_, _, ts := mockRouter(t, Config{AdminToken: "sekrit", Replicas: 2}, "s0", "s1")
+	_, _, tsNoAdmin := mockRouter(t, Config{}, "s0")
+
+	good := solveBody(t, "poisson2d", 16)
+	cases := []struct {
+		name       string
+		base       string
+		method     string
+		path       string
+		body       string
+		token      string
+		wantStatus int
+	}{
+		{"routerz", ts.URL, http.MethodGet, "/routerz", "", "", http.StatusOK},
+		{"healthz", ts.URL, http.MethodGet, "/v1/healthz", "", "", http.StatusOK},
+		{"solve ok", ts.URL, http.MethodPost, "/v1/solve", string(good), "", http.StatusOK},
+		{"solve wrong method", ts.URL, http.MethodGet, "/v1/solve", "", "", http.StatusMethodNotAllowed},
+		{"solve bad body", ts.URL, http.MethodPost, "/v1/solve", "{not json", "", http.StatusBadRequest},
+		{"batch wrong method", ts.URL, http.MethodGet, "/v1/solve/batch", "", "", http.StatusMethodNotAllowed},
+		{"batch bad body", ts.URL, http.MethodPost, "/v1/solve/batch", "{not json", "", http.StatusBadRequest},
+		{"admin topology", ts.URL, http.MethodGet, "/v1/admin/topology", "", "sekrit", http.StatusOK},
+		{"admin no token", ts.URL, http.MethodGet, "/v1/admin/topology", "", "", http.StatusUnauthorized},
+		{"admin bad token", ts.URL, http.MethodGet, "/v1/admin/topology", "", "wrong", http.StatusUnauthorized},
+		{"admin disabled", tsNoAdmin.URL, http.MethodGet, "/v1/admin/topology", "", "", http.StatusForbidden},
+		{"admin unknown path", ts.URL, http.MethodGet, "/v1/admin/bogus", "", "sekrit", http.StatusNotFound},
+		{"admin add bad body", ts.URL, http.MethodPost, "/v1/admin/shards", "{not json", "sekrit", http.StatusBadRequest},
+		{"admin add conflict", ts.URL, http.MethodPost, "/v1/admin/shards", `{"name":"s0"}`, "sekrit", http.StatusConflict},
+		{"admin drain unknown", ts.URL, http.MethodPost, "/v1/admin/shards/nope/drain", "", "sekrit", http.StatusNotFound},
+		{"admin remove unknown", ts.URL, http.MethodDelete, "/v1/admin/shards/nope", "", "sekrit", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, tc.base+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			if tc.token != "" {
+				req.Header.Set("Authorization", "Bearer "+tc.token)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+				t.Errorf("content type %q, want application/json", ct)
+			}
+			var stamped struct {
+				Schema int `json:"schema"`
+			}
+			if err := json.Unmarshal(raw, &stamped); err != nil {
+				t.Fatalf("response is not JSON: %v (body %s)", err, raw)
+			}
+			if stamped.Schema != api.SchemaVersion {
+				t.Errorf("schema %d, want %d (body %s)", stamped.Schema, api.SchemaVersion, raw)
+			}
+		})
+	}
+}

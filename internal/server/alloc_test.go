@@ -48,7 +48,7 @@ func TestZeroAllocWarmSolvePath(t *testing.T) {
 		ent, sc := warmEntry(t, s, req)
 
 		solve := func() {
-			if out := s.solve(ent, sc, req.rhsSeed()); out.err != nil {
+			if out := s.solve(ent, sc, req.ResolvedRHSSeed()); out.err != nil {
 				t.Fatalf("%s: %v", name, out.err)
 			}
 		}

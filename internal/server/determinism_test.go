@@ -22,7 +22,7 @@ func warmEntry(t *testing.T, s *Server, req *SolveRequest) (*entry, harness.Scen
 	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
 		t.Fatal(err)
 	}
-	return ent, req.scenario(ent.spec, ent.label)
+	return ent, req.Scenario(ent.spec, ent.label)
 }
 
 // TestWarmSolveBitIdentical pairs the allocation gate with the
@@ -46,7 +46,7 @@ func TestWarmSolveBitIdentical(t *testing.T) {
 			s := New(Config{Workers: 1, Concurrency: 1})
 			ent, sc := warmEntry(t, s, req)
 			for rep := 0; rep < 3; rep++ { // rep 0 cold, reps 1–2 warm
-				out := s.solve(ent, sc, req.rhsSeed())
+				out := s.solve(ent, sc, req.ResolvedRHSSeed())
 				if out.err != nil {
 					t.Fatalf("%s/%s: %v", tc.solver, tc.scheme, out.err)
 				}

@@ -34,7 +34,7 @@ type Identity struct {
 // only meaningful for a well-formed CSR.
 func ResolveIdentity(req *SolveRequest) (Identity, error) {
 	if req.Inline != nil {
-		a, err := req.Inline.toCSR()
+		a, err := req.Inline.ToCSR()
 		if err != nil {
 			return Identity{}, err
 		}

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/harness"
+)
+
+// TestEveryEndpointStampsSchema sweeps the shard's HTTP surface — success
+// bodies and error envelopes alike — and asserts every response carries
+// the wire schema version.
+func TestEveryEndpointStampsSchema(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1})
+
+	spec, err := harness.NewMatrixSpec("tridiag", 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(SolveRequest{Matrix: &spec, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"solve ok", http.MethodPost, "/v1/solve", string(good), http.StatusOK},
+		{"solve wrong method", http.MethodGet, "/v1/solve", "", http.StatusMethodNotAllowed},
+		{"solve bad body", http.MethodPost, "/v1/solve", "{not json", http.StatusBadRequest},
+		{"solve bad request", http.MethodPost, "/v1/solve", `{"matrix":{"kind":"nope","n":4}}`, http.StatusBadRequest},
+		{"batch wrong method", http.MethodGet, "/v1/solve/batch", "", http.StatusMethodNotAllowed},
+		{"batch bad body", http.MethodPost, "/v1/solve/batch", "{not json", http.StatusBadRequest},
+		{"stats", http.MethodGet, "/v1/stats", "", http.StatusOK},
+		{"healthz", http.MethodGet, "/v1/healthz", "", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var body io.Reader
+			if tc.body != "" {
+				body = bytes.NewReader([]byte(tc.body))
+			}
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.body != "" {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			var stamped struct {
+				Schema int `json:"schema"`
+			}
+			if err := json.Unmarshal(raw, &stamped); err != nil {
+				t.Fatalf("response is not JSON: %v (body %s)", err, raw)
+			}
+			if stamped.Schema != api.SchemaVersion {
+				t.Errorf("schema %d, want %d (body %s)", stamped.Schema, api.SchemaVersion, raw)
+			}
+		})
+	}
+}

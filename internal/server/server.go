@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/pool"
@@ -369,7 +370,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		respondErr(w, http.StatusServiceUnavailable, errShuttingDown)
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errShuttingDown, retryAfterDrainingMillis)
 		return
 	}
 	var req SolveRequest
@@ -396,9 +397,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.noteMaterialised(ent)
-	sc := req.scenario(ent.spec, ent.label)
+	sc := req.Scenario(ent.spec, ent.label)
 
-	t := newTask(coalesceKey(id.Key, &req), []rhsSpec{{seed: req.Seed, rhsSeed: req.rhsSeed()}})
+	t := newTask(coalesceKey(id.Key, &req), []rhsSpec{{seed: req.Seed, rhsSeed: req.ResolvedRHSSeed()}})
 	t.exec = func(group []*task) {
 		if hook := s.testHookPreSolve; hook != nil {
 			hook()
@@ -437,9 +438,9 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutM
 	if err := s.sched.submit(t); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.rejected.Add(1)
-			respondErr(w, http.StatusTooManyRequests, err)
+			api.WriteError(w, http.StatusTooManyRequests, api.CodeSaturated, err, retryAfterSaturatedMillis)
 		} else {
-			respondErr(w, http.StatusServiceUnavailable, err)
+			api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, err, retryAfterDrainingMillis)
 		}
 		return false
 	}
@@ -450,7 +451,8 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutM
 			// Still queued: abandon it before a worker (or a coalescing
 			// scan) picks it up.
 			s.expired.Add(1)
-			respondErr(w, http.StatusGatewayTimeout, fmt.Errorf("deadline exceeded while queued: %w", ctx.Err()))
+			api.WriteError(w, http.StatusGatewayTimeout, api.CodeExpired,
+				fmt.Errorf("deadline exceeded while queued: %w", ctx.Err()), 0)
 			return false
 		}
 		<-t.done
@@ -464,7 +466,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining.Load() {
-		respondErr(w, http.StatusServiceUnavailable, errShuttingDown)
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errShuttingDown, retryAfterDrainingMillis)
 		return
 	}
 	var req BatchSolveRequest
@@ -489,11 +491,11 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cache.noteMaterialised(ent)
 	s.cache.noteBatchWidth(ent, len(req.RHS))
-	sc := req.scenario(ent.spec, ent.label)
+	sc := req.Scenario(ent.spec, ent.label)
 
 	specs := make([]rhsSpec, len(req.RHS))
 	for i := range req.RHS {
-		specs[i] = rhsSpec{seed: req.RHS[i].Seed, rhsSeed: req.RHS[i].rhsSeed()}
+		specs[i] = rhsSpec{seed: req.RHS[i].Seed, rhsSeed: req.RHS[i].ResolvedRHSSeed()}
 	}
 	t := newTask(coalesceKey(id.Key, &req.SolveRequest), specs)
 	t.exec = func(group []*task) {
@@ -524,7 +526,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		ri.RHSSeed = req.RHS[i].RHSSeed
 		out := t.outs[i]
 		br := BatchResult{
-			Result:      s.record(ent, ri.scenario(ent.spec, ent.label), out),
+			Result:      s.record(ent, ri.Scenario(ent.spec, ent.label), out),
 			SolveMillis: float64(out.solveNanos) / 1e6,
 		}
 		if out.err != nil {
@@ -574,12 +576,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Retry hints stamped into the error envelope: saturation clears as soon
+// as a queue slot frees, draining resolves when a replacement comes up.
+const (
+	retryAfterSaturatedMillis = 250
+	retryAfterDrainingMillis  = 1000
+)
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	api.WriteJSON(w, code, v)
 }
 
+// respondErr answers with the unified envelope under the default
+// status→code mapping; paths with a sharper classification or a retry
+// hint call api.WriteError directly.
 func respondErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, ErrorResponse{Schema: SchemaVersion, Error: err.Error()})
+	api.WriteError(w, code, "", err, 0)
 }

@@ -133,8 +133,8 @@ func TestSolveRequestValidation(t *testing.T) {
 		var er ErrorResponse
 		if code := postSolve(t, ts.URL, tc.req, &er); code != tc.code {
 			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
-		} else if er.Error == "" {
-			t.Errorf("%s: empty error body", tc.name)
+		} else if er.Message == "" || er.Code == "" {
+			t.Errorf("%s: incomplete error envelope %+v", tc.name, er)
 		}
 	}
 }

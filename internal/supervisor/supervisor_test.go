@@ -1,0 +1,170 @@
+package supervisor
+
+import (
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder collects lifecycle events for assertions.
+type recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recorder) observe(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+func (r *recorder) count(kind string) int {
+	n := 0
+	for _, ev := range r.snapshot() {
+		if ev.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestRestartsCrashedChildWithCappedBackoff runs a child that exits
+// immediately: the supervisor must keep restarting it, doubling the
+// backoff per crash up to the cap, and every exit event must carry the
+// delay that was actually about to be slept.
+func TestRestartsCrashedChildWithCappedBackoff(t *testing.T) {
+	rec := &recorder{}
+	c := Supervise("crashy", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "exit 3")
+	}, Config{
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond,
+		ResetAfter: time.Hour, // a fast-exiting child never earns forgiveness
+		OnEvent:    rec.observe,
+	})
+	defer c.Stop()
+
+	waitUntil(t, "5 crashes", func() bool { return rec.count("exit") >= 5 })
+	c.Stop()
+
+	var backoffs []time.Duration
+	for _, ev := range rec.snapshot() {
+		if ev.Kind == "exit" {
+			backoffs = append(backoffs, ev.Backoff)
+		}
+	}
+	want := []time.Duration{10, 20, 40, 40, 40} // ms: doubling, then capped
+	for i, w := range want {
+		if got := backoffs[i]; got != w*time.Millisecond {
+			t.Errorf("crash %d: backoff %s, want %s", i, got, w*time.Millisecond)
+		}
+	}
+	if rec.count("start") < 5 {
+		t.Errorf("only %d starts for %d exits", rec.count("start"), rec.count("exit"))
+	}
+}
+
+// TestResetAfterForgivesLongRuns: a child that stays up past ResetAfter
+// restarts at the base backoff again, not at wherever the crash loop
+// left off.
+func TestResetAfterForgivesLongRuns(t *testing.T) {
+	rec := &recorder{}
+	c := Supervise("steady", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "sleep 0.2; exit 1")
+	}, Config{
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+		ResetAfter: 100 * time.Millisecond, // 200ms uptime counts as healthy
+		OnEvent:    rec.observe,
+	})
+	defer c.Stop()
+
+	waitUntil(t, "3 exits", func() bool { return rec.count("exit") >= 3 })
+	c.Stop()
+	for _, ev := range rec.snapshot() {
+		if ev.Kind == "exit" && ev.Backoff != 10*time.Millisecond {
+			t.Errorf("exit after healthy uptime backed off %s, want the base 10ms", ev.Backoff)
+		}
+	}
+}
+
+// TestStopTerminatesAndDoesNotRestart: Stop must bring down a
+// long-running child promptly (SIGTERM) and no restart may follow.
+func TestStopTerminatesAndDoesNotRestart(t *testing.T) {
+	rec := &recorder{}
+	c := Supervise("longrun", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "sleep 60")
+	}, Config{
+		Backoff: 5 * time.Millisecond,
+		Grace:   2 * time.Second,
+		OnEvent: rec.observe,
+	})
+	waitUntil(t, "child start", c.Alive)
+	pid := c.PID()
+	if pid == 0 {
+		t.Fatal("alive child has pid 0")
+	}
+
+	begun := time.Now()
+	c.Stop()
+	if took := time.Since(begun); took > 3*time.Second {
+		t.Errorf("Stop of a sleeping child took %s — SIGTERM not delivered?", took)
+	}
+	if c.Alive() {
+		t.Error("child still alive after Stop")
+	}
+
+	starts := rec.count("start")
+	time.Sleep(50 * time.Millisecond) // would be several backoffs
+	if got := rec.count("start"); got != starts {
+		t.Errorf("%d new starts after Stop", got-starts)
+	}
+	if starts != 1 {
+		t.Errorf("%d starts before Stop, want 1", starts)
+	}
+
+	// Stop is idempotent.
+	c.Stop()
+}
+
+// TestStopKillsStubbornChild: a child that ignores SIGTERM dies by
+// SIGKILL after the grace period.
+func TestStopKillsStubbornChild(t *testing.T) {
+	rec := &recorder{}
+	c := Supervise("stubborn", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "trap '' TERM; sleep 60 & wait")
+	}, Config{
+		Grace:   100 * time.Millisecond,
+		OnEvent: rec.observe,
+	})
+	waitUntil(t, "child start", c.Alive)
+	time.Sleep(50 * time.Millisecond) // let the shell install its trap
+
+	begun := time.Now()
+	c.Stop()
+	if took := time.Since(begun); took > 5*time.Second {
+		t.Errorf("Stop took %s, want grace (100ms) + kill", took)
+	}
+	if c.Alive() {
+		t.Error("child survived SIGKILL")
+	}
+}
