@@ -1,0 +1,129 @@
+// Command reschaos is the standalone fault-injection proxy: it sits in
+// front of any resilientd shard or resrouter front end and subjects the
+// solve traffic flowing through it to a seeded chaos plan — connection
+// resets, mid-body truncation, single-bit flips, latency spikes and 5xx
+// storms — while health probes and admin calls pass through untouched.
+//
+//	reschaos -addr 127.0.0.1:8999 -target http://127.0.0.1:8900 -plan chaos.json
+//
+// The same plan and the same request sequence inject the same faults
+// (the decision PRNG is keyed on plan seed × request identity × attempt),
+// so a campaign replayed through reschaos is a reproducible experiment.
+// GET /chaosz reports the injection counters and the order-independent
+// trace hash. An injected connection reset aborts the client's
+// connection (http.ErrAbortHandler) instead of answering a synthetic
+// 502, so callers observe a transport failure — exactly what the
+// router's failover path expects to retry.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/chaos"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "reschaos: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// chaoszResponse is the body of GET /chaosz.
+type chaoszResponse struct {
+	Schema int             `json:"schema"`
+	Target string          `json:"target"`
+	Chaos  *api.ChaosStats `json:"chaos"`
+}
+
+// run starts the proxy and blocks until ctx is cancelled or the listener
+// fails. When started is non-nil it receives the bound address.
+func run(ctx context.Context, args []string, stderr io.Writer, started chan<- net.Addr) error {
+	fs := flag.NewFlagSet("reschaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8999", "listen address")
+		target   = fs.String("target", "", "upstream base URL (a resilientd shard or a resrouter)")
+		planPath = fs.String("plan", "", "seeded chaos plan (JSON); empty passes all traffic through")
+		quiet    = fs.Bool("q", false, "suppress startup logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return errors.New("missing -target")
+	}
+	u, err := url.Parse(*target)
+	if err != nil || u.Host == "" || (u.Scheme != "http" && u.Scheme != "https") {
+		return fmt.Errorf("-target %q is not an http(s) base URL", *target)
+	}
+	var plan chaos.Plan
+	if *planPath != "" {
+		if plan, err = chaos.LoadPlan(*planPath); err != nil {
+			return err
+		}
+	}
+	inj := chaos.New(plan, nil)
+
+	proxy := &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(u)
+			pr.Out.Host = u.Host
+		},
+		Transport: inj,
+		ErrorHandler: func(w http.ResponseWriter, req *http.Request, err error) {
+			// Surface injected (and real) transport failures as aborted
+			// connections, not proxy-fabricated 502 bodies: the caller must
+			// see the same failure shape a direct connection would show, or
+			// a router in front of this proxy would relay the 502 instead
+			// of retrying.
+			panic(http.ErrAbortHandler)
+		},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /chaosz", func(w http.ResponseWriter, req *http.Request) {
+		api.WriteJSON(w, http.StatusOK, chaoszResponse{
+			Schema: api.SchemaVersion,
+			Target: *target,
+			Chaos:  inj.Stats(),
+		})
+	})
+	mux.Handle("/", proxy)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if started != nil {
+		started <- ln.Addr()
+	}
+	if !*quiet {
+		fmt.Fprintf(stderr, "reschaos: proxying %s -> %s (plan %q, seed %d)\n", ln.Addr(), *target, *planPath, plan.Seed)
+	}
+	hs := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return hs.Shutdown(sctx)
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+// bootProxy starts run() against args and returns the proxy's base URL.
+func bootProxy(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0", "-q"}, args...), io.Discard, started) }()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("proxy did not shut down")
+		}
+	})
+	select {
+	case addr := <-started:
+		return "http://" + addr.String()
+	case err := <-done:
+		t.Fatalf("proxy exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy never bound")
+	}
+	return ""
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), nil, io.Discard, nil); err == nil {
+		t.Error("missing -target accepted")
+	}
+	if err := run(context.Background(), []string{"-target", "not a url"}, io.Discard, nil); err == nil {
+		t.Error("malformed -target accepted")
+	}
+	if err := run(context.Background(), []string{"-target", "http://x", "-plan", "/nonexistent.json"}, io.Discard, nil); err == nil {
+		t.Error("unreadable -plan accepted")
+	}
+}
+
+// TestProxyPassThroughAndChaosz: with no plan, solve traffic flows
+// through untouched (digest intact) and /chaosz reports the request in
+// its counters with a zero-fault trace.
+func TestProxyPassThroughAndChaosz(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		api.WriteJSON(w, http.StatusOK, map[string]any{"schema": api.SchemaVersion, "echo": len(body)})
+	}))
+	defer upstream.Close()
+
+	base := bootProxy(t, "-target", upstream.URL)
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewReader([]byte(`{"n":16}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !api.VerifyDigest(resp.Header.Get(api.DigestHeader), body) {
+		t.Error("pass-through mangled the digest-stamped body")
+	}
+
+	resp, err = http.Get(base + "/chaosz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cz chaoszResponse
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(raw, &cz); err != nil {
+		t.Fatalf("chaosz decode: %v (%s)", err, raw)
+	}
+	if !api.VerifyDigest(resp.Header.Get(api.DigestHeader), raw) {
+		t.Error("/chaosz body fails its own digest")
+	}
+	if cz.Schema != api.SchemaVersion || cz.Target != upstream.URL {
+		t.Errorf("chaosz header %+v", cz)
+	}
+	if cz.Chaos == nil || cz.Chaos.Requests != 1 || cz.Chaos.Passed != 1 {
+		t.Errorf("chaos counters %+v, want 1 request passed clean", cz.Chaos)
+	}
+}
+
+// TestProxyInjectsFromPlan: a reset-only plan makes solve requests fail
+// at the transport (aborted connection, not a synthetic 502) while
+// /chaosz itself stays reachable and counts the casualties.
+func TestProxyInjectsFromPlan(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]any{"ok": true})
+	}))
+	defer upstream.Close()
+
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(plan, []byte(`{"schema":1,"seed":7,"p_reset":1.0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := bootProxy(t, "-target", upstream.URL, "-plan", plan)
+
+	failures := 0
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(base+"/v1/solve", "application/json",
+			bytes.NewReader([]byte(fmt.Sprintf(`{"n":%d}`, 16+i))))
+		if err != nil {
+			failures++
+			continue
+		}
+		resp.Body.Close()
+		t.Errorf("request %d got status %d through a p_reset=1 plan", i, resp.StatusCode)
+	}
+	if failures != 4 {
+		t.Errorf("%d transport failures, want all 4", failures)
+	}
+
+	resp, err := http.Get(base + "/chaosz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cz chaoszResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cz.Chaos == nil || cz.Chaos.Resets != 4 || cz.Chaos.Requests != 4 {
+		t.Errorf("chaos counters %+v, want 4/4 resets", cz.Chaos)
+	}
+	if cz.Chaos.TraceHash == "" {
+		t.Error("empty trace hash after injected faults")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +73,12 @@ type Record struct {
 	Expired         int `json:"expired"`
 	TransportErrors int `json:"transport_errors"`
 	OtherErrors     int `json:"other_errors"`
+	// DigestMismatches counts responses whose stamped content digest did
+	// not match the received bytes — corrupt bytes that reached this
+	// client. Must be zero: the router discards corrupt shard responses
+	// before relay, so any count here means the last hop corrupted data
+	// or the router's verification failed.
+	DigestMismatches int `json:"digest_mismatches"`
 	// ErrorCodes counts refusals by the machine-readable code of the
 	// unified error envelope (e.g. "saturated" vs "expired" vs
 	// "draining"), so a mixed failure mode is attributable without
@@ -144,6 +151,10 @@ type RouterSummary struct {
 	Failovers     int64 `json:"failovers"`
 	Unroutable    int64 `json:"unroutable"`
 	DistinctKeys  int   `json:"distinct_keys"`
+	// Integrity echoes the router's end-to-end verification counters;
+	// Chaos is present when the router runs a fault-injection plan.
+	Integrity api.IntegrityStats `json:"integrity"`
+	Chaos     *api.ChaosStats    `json:"chaos,omitempty"`
 }
 
 // Campaign is the recorded request mix (-record / -replay): the
@@ -223,6 +234,9 @@ type outcome struct {
 	cacheHit  bool
 	solveErr  bool
 	transport bool
+	// digestBad marks a response whose stamped X-Resilient-Digest did not
+	// match the received bytes: corrupt bytes reached this client.
+	digestBad bool
 	latency   time.Duration
 }
 
@@ -245,12 +259,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		check     = fs.Bool("check", false, "exit nonzero unless every request succeeded, every cell hashed identically, and every enabled cross-check passed")
 		quiet     = fs.Bool("q", false, "suppress progress output")
 		isRouter  = fs.Bool("router", false, "target is a resrouter: require and report its /routerz")
+		chaosMode = fs.Bool("chaos", false, "the target router runs a fault-injection plan (-chaos-plan): require its /routerz chaos section, and -check additionally requires every injected bit flip to be detected and zero corrupt responses at this client")
 		shardsCSV = fs.String("shards", "", "comma-separated direct shard base URLs: re-issue each cell directly and cross-check residual hashes against the routed run")
 		recordTo  = fs.String("record", "", "write the request mix and observed hashes as a replayable campaign file")
 		replayOf  = fs.String("replay", "", "drive the mix from a recorded campaign file instead of the flag axes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaosMode && !*isRouter {
+		return fmt.Errorf("-chaos requires -router (the chaos counters live in the router's /routerz)")
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -355,6 +373,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *check {
 		switch {
+		case rec.DigestMismatches > 0:
+			return fmt.Errorf("check failed: %d corrupt responses reached the client (content digest mismatch)", rec.DigestMismatches)
 		case rec.OK != rec.Requests:
 			return fmt.Errorf("check failed: %d of %d requests did not succeed (rejected=%d expired=%d transport=%d solve=%d other=%d)",
 				rec.Requests-rec.OK, rec.Requests, rec.Rejected, rec.Expired, rec.TransportErrors, rec.SolveErrors, rec.OtherErrors)
@@ -375,19 +395,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// Router counters (failovers, unroutable) are cumulative over the
 		// router's lifetime, not this run's, so they are reported but
 		// never gated on — this run's own failures already surface above.
+		// The chaos gates below are the exception: a chaos campaign runs
+		// against a router started fresh for the experiment.
+		if *chaosMode {
+			switch {
+			case rec.Router == nil || rec.Router.Chaos == nil:
+				return fmt.Errorf("check failed: -chaos given but the target router reports no chaos section (is it running -chaos-plan?)")
+			case rec.Router.Chaos.BitFlips > 0 && rec.Router.Integrity.CorruptResponses == 0:
+				return fmt.Errorf("check failed: chaos injected %d bit flips but the router detected no corrupt responses — the digest check is vacuous",
+					rec.Router.Chaos.BitFlips)
+			}
+		}
 	}
 	return nil
 }
 
-// loadCampaign reads and validates a recorded campaign file.
+// loadCampaign reads and validates a recorded campaign file. A
+// truncated or partially-written file — the torn-write shapes a crashed
+// recorder or interrupted copy leaves behind — fails with a clean error
+// naming the byte offset where decoding stopped, never a panic.
 func loadCampaign(path string) (Campaign, error) {
 	var camp Campaign
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return camp, err
 	}
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return camp, fmt.Errorf("campaign %s: file is empty (truncated or never written?)", path)
+	}
 	if err := json.Unmarshal(raw, &camp); err != nil {
-		return camp, fmt.Errorf("campaign %s: %w", path, err)
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			return camp, fmt.Errorf("campaign %s: malformed JSON at byte offset %d of %d (truncated or partially-written file?): %v",
+				path, syn.Offset, len(raw), err)
+		case errors.As(err, &typ):
+			return camp, fmt.Errorf("campaign %s: unexpected %s at byte offset %d (field %q)",
+				path, typ.Value, typ.Offset, typ.Field)
+		default:
+			return camp, fmt.Errorf("campaign %s: %w", path, err)
+		}
 	}
 	if camp.Schema != Schema {
 		return camp, fmt.Errorf("campaign %s: schema %d, this resload speaks %d", path, camp.Schema, Schema)
@@ -522,6 +570,8 @@ func fetchRouterz(addr string) (*RouterSummary, error) {
 		Failovers:     rz.Failovers,
 		Unroutable:    rz.Unroutable,
 		DistinctKeys:  rz.Keys.Distinct,
+		Integrity:     rz.Integrity,
+		Chaos:         rz.Chaos,
 	}, nil
 }
 
@@ -662,13 +712,24 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 		}
 		return out
 	}
+	// Read the raw bytes first and verify the stamped content digest over
+	// exactly what arrived: the client-side end of the integrity pipeline.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	out.latency = time.Since(start)
+	if err != nil {
+		out.transport = true
+		return out
+	}
+	if !api.VerifyDigest(resp.Header.Get(api.DigestHeader), raw) {
+		out.digestBad = true
+		return out
+	}
 	if len(cl.rhs) > 0 {
 		var br api.BatchSolveResponse
-		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || len(br.Results) != len(cl.rhs) {
+		if err := json.Unmarshal(raw, &br); err != nil || len(br.Results) != len(cl.rhs) {
 			out.transport = true
 			return out
 		}
-		out.latency = time.Since(start)
 		parts := make([]string, len(br.Results))
 		for i := range br.Results {
 			parts[i] = br.Results[i].Result.ResidualHash
@@ -681,11 +742,10 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 		return out
 	}
 	var sr api.SolveResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	if err := json.Unmarshal(raw, &sr); err != nil {
 		out.transport = true
 		return out
 	}
-	out.latency = time.Since(start)
 	out.hash = sr.Result.ResidualHash
 	out.cacheHit = sr.CacheHit
 	out.solveErr = sr.SolveError != ""
@@ -721,6 +781,8 @@ func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Dur
 		switch {
 		case o.transport:
 			rec.TransportErrors++
+		case o.digestBad:
+			rec.DigestMismatches++
 		case o.code == api.CodeSaturated || (o.code == "" && o.status == http.StatusTooManyRequests):
 			rec.Rejected++
 		case o.code == api.CodeExpired || (o.code == "" && o.status == http.StatusGatewayTimeout):
@@ -841,11 +903,27 @@ func writeSummary(w io.Writer, rec Record) error {
 			return err
 		}
 	}
+	if rec.DigestMismatches > 0 {
+		if _, err := fmt.Fprintf(w, "DIGEST MISMATCHES: %d corrupt responses reached this client\n", rec.DigestMismatches); err != nil {
+			return err
+		}
+	}
 	if rec.Router != nil {
 		if _, err := fmt.Fprintf(w, "router shards=%d healthy=%d routed=%d failovers=%d unroutable=%d distinct_keys=%d\n",
 			rec.Router.Shards, rec.Router.HealthyShards, rec.Router.Routed,
 			rec.Router.Failovers, rec.Router.Unroutable, rec.Router.DistinctKeys); err != nil {
 			return err
+		}
+		in := rec.Router.Integrity
+		if _, err := fmt.Fprintf(w, "integrity digest_verified=%d corrupt_responses=%d retries_spent=%d budget_exhausted=%d\n",
+			in.DigestVerified, in.CorruptResponses, in.RetriesSpent, in.BudgetExhausted); err != nil {
+			return err
+		}
+		if ch := rec.Router.Chaos; ch != nil {
+			if _, err := fmt.Fprintf(w, "chaos seed=%d requests=%d resets=%d storms_503=%d kills=%d truncations=%d bit_flips=%d latency_spikes=%d trace=%s\n",
+				ch.Seed, ch.Requests, ch.Resets, ch.Storms503, ch.Kills, ch.Truncations, ch.BitFlips, ch.LatencySpikes, ch.TraceHash); err != nil {
+				return err
+			}
 		}
 	}
 	_, err := fmt.Fprintf(w, "deterministic=%v\n", rec.Deterministic)

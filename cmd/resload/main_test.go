@@ -448,3 +448,48 @@ func TestLoadCampaignRejectsBad(t *testing.T) {
 		t.Error("missing file accepted")
 	}
 }
+
+// TestLoadCampaignNamesTruncationOffset is the crash-mid-write contract:
+// replaying a truncated or partially-written record file must fail with
+// a clean error naming the byte offset — never a panic, never a
+// half-loaded campaign.
+func TestLoadCampaignNamesTruncationOffset(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "replay_golden.json"))
+	if err != nil {
+		t.Skip("no golden campaign recorded yet")
+	}
+	dir := t.TempDir()
+	write := func(name string, body []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		cut := int(frac * float64(len(golden)))
+		p := write("truncated.json", golden[:cut])
+		_, err := loadCampaign(p)
+		if err == nil {
+			t.Fatalf("%d%% truncation accepted", int(frac*100))
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "byte offset") || !strings.Contains(msg, "truncated") {
+			t.Errorf("%d%% truncation error %q: want the byte offset and a truncation hint", int(frac*100), msg)
+		}
+	}
+
+	// A zero-length file (open() happened, write() never did) gets its own
+	// diagnosis instead of a bare JSON EOF.
+	if _, err := loadCampaign(write("empty.json", nil)); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty file error = %v, want an empty-file diagnosis", err)
+	}
+
+	// Type-level corruption (valid JSON, wrong shape) names the field and
+	// offset rather than failing opaquely.
+	bad := []byte(`{"schema":1,"cells":[{"name":"x","request":{"matrix":{"gen":"poisson2d","n":"sixteen"}}}]}`)
+	if _, err := loadCampaign(write("badtype.json", bad)); err == nil || !strings.Contains(err.Error(), "byte offset") {
+		t.Errorf("type corruption error = %v, want the byte offset named", err)
+	}
+}

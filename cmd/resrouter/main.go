@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/router"
 )
 
@@ -65,6 +66,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		shardBin      = fs.String("shard-bin", "resilientd", "resilientd binary for -supervise (looked up in PATH unless a path is given)")
 		restartBase   = fs.Duration("restart-backoff", 250*time.Millisecond, "first restart delay for a crashed supervised shard (doubles per crash)")
 		restartMax    = fs.Duration("restart-max", 5*time.Second, "restart-delay cap for a crash-looping supervised shard")
+		restartLimit  = fs.Int("restart-limit", 0, "consecutive crash-loop restarts before a supervised shard is given up on (0 = unlimited)")
 		adminToken    = fs.String("admin-token", "", "bearer token enabling the /v1/admin control plane (empty = disabled)")
 		workers       = fs.Int("workers", 0, "kernel pool size per managed shard (resilientd -workers semantics)")
 		vnodes        = fs.Int("vnodes", router.DefaultVnodes, "virtual nodes per shard on the hash ring")
@@ -74,6 +76,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		failThreshold = fs.Int("fail-threshold", 3, "consecutive failures that eject a shard")
 		reqTimeout    = fs.Duration("timeout", 2*time.Minute, "forwarded-request deadline when the request names none")
 		retryBody     = fs.Int64("retry-body-bytes", 0, "largest request body buffered for failover resends (0 = 8 MiB, negative = unbounded); larger requests get a single attempt")
+		retryBudget   = fs.Int("retry-budget", 4, "per-request attempt ceiling across ring candidates (first try included)")
+		retryBackoff  = fs.Duration("retry-backoff", 25*time.Millisecond, "base delay before the second attempt (doubles per attempt, ±50% jitter; a shard retry_after_ms hint overrides when longer)")
+		chaosPlan     = fs.String("chaos-plan", "", "seeded fault-injection plan (JSON) applied to shard-bound solve traffic; /routerz grows a chaos section")
 		quiet         = fs.Bool("q", false, "suppress startup, reload and drain logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -112,19 +117,22 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	}
 
 	var runtime router.ShardRuntime
+	var procs *procRuntime
 	if *supervise {
-		runtime = newProcRuntime(procConfig{
-			bin:        *shardBin,
-			workers:    *workers,
-			backoff:    *restartBase,
-			maxBackoff: *restartMax,
-			logf:       logf,
+		procs = newProcRuntime(procConfig{
+			bin:         *shardBin,
+			workers:     *workers,
+			backoff:     *restartBase,
+			maxBackoff:  *restartMax,
+			maxRestarts: *restartLimit,
+			logf:        logf,
 		})
+		runtime = procs
 	} else {
 		runtime = newLocalRuntime(*workers)
 	}
 
-	rt, err := router.New(router.Config{
+	cfg := router.Config{
 		Vnodes:         *vnodes,
 		Replicas:       *replicas,
 		ProbeInterval:  *probeInterval,
@@ -132,9 +140,28 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		FailThreshold:  *failThreshold,
 		RequestTimeout: *reqTimeout,
 		RetryBodyBytes: *retryBody,
+		RetryBudget:    *retryBudget,
+		RetryBackoff:   *retryBackoff,
 		AdminToken:     *adminToken,
 		Runtime:        runtime,
-	}, topo.Shards)
+	}
+	if *chaosPlan != "" {
+		plan, err := chaos.LoadPlan(*chaosPlan)
+		if err != nil {
+			return err
+		}
+		var opts []chaos.Option
+		if procs != nil {
+			// Kill faults SIGKILL the supervised child behind the target
+			// address; the watchdog restarts it on its stable port.
+			opts = append(opts, chaos.WithKillFunc(procs.KillByAddr))
+		}
+		inj := chaos.New(plan, nil, opts...)
+		cfg.Transport = inj
+		cfg.ChaosStats = inj.Stats
+		logf("CHAOS: injecting faults into shard-bound solve traffic (plan %s, seed %d)", *chaosPlan, plan.Seed)
+	}
+	rt, err := router.New(cfg, topo.Shards)
 	if err != nil {
 		return err
 	}

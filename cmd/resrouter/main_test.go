@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
@@ -183,5 +184,101 @@ func TestRunRejectsBusyAddress(t *testing.T) {
 	defer ln.Close()
 	if err := run(context.Background(), []string{"-addr", ln.Addr().String(), "-spawn", "1", "-q"}, io.Discard, nil); err == nil {
 		t.Fatal("expected a listen error on a busy address")
+	}
+}
+
+// TestRunChaosPlanKeepsAnswersClean is the tentpole gate in miniature:
+// the same campaign, replayed through a seeded fault plan (resets,
+// truncations, bit flips, 503 storms), must produce solve results
+// bit-identical to the fault-free baseline — every corruption detected
+// and retried inside the router, zero corrupt bytes relayed — and the
+// injection trace must reproduce exactly under the same seed.
+func TestRunChaosPlanKeepsAnswersClean(t *testing.T) {
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	planJSON := `{"schema":1,"seed":42,"p_reset":0.1,"p_truncate":0.1,"p_bitflip":0.25,"p_503":0.05,"p_latency":0.1,"latency_ms":1}`
+	if err := os.WriteFile(plan, []byte(planJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chaosArgs := []string{"-addr", "127.0.0.1:0", "-spawn", "2", "-workers", "1", "-q",
+		"-chaos-plan", plan, "-retry-budget", "8", "-retry-backoff", "1ms"}
+
+	baseClean, cancelClean, _ := boot(t, []string{"-addr", "127.0.0.1:0", "-spawn", "2", "-workers", "1", "-q"})
+	defer cancelClean()
+	baseChaos, cancelChaos, _ := boot(t, chaosArgs)
+	defer cancelChaos()
+
+	reqs := make([]string, 0, 12)
+	for _, n := range []int{32, 48, 64, 100} {
+		body := `{"matrix":{"gen":"poisson2d","n":` + strconv.Itoa(n) + `},"seed":5}`
+		reqs = append(reqs, body, body, body) // repeats draw fresh per-attempt fates
+	}
+
+	hashOf := func(base, body string) string {
+		resp, raw := postJSON(t, base+"/v1/solve", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d under %s: %s", resp.StatusCode, base, raw)
+		}
+		var sr server.SolveResponse
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Result.ResidualHash == "" {
+			t.Fatal("empty residual hash")
+		}
+		return sr.Result.ResidualHash
+	}
+	for i, body := range reqs {
+		clean := hashOf(baseClean, body)
+		chaotic := hashOf(baseChaos, body)
+		if clean != chaotic {
+			t.Errorf("request %d: chaos result %s != fault-free %s", i, chaotic, clean)
+		}
+	}
+
+	routerz := func(base string) router.RouterzResponse {
+		rz, err := http.Get(base + "/routerz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rz.Body.Close()
+		var status router.RouterzResponse
+		if err := json.NewDecoder(rz.Body).Decode(&status); err != nil {
+			t.Fatal(err)
+		}
+		return status
+	}
+	status := routerz(baseChaos)
+	if status.Chaos == nil {
+		t.Fatal("no chaos section on /routerz with -chaos-plan")
+	}
+	if status.Chaos.BitFlips == 0 || status.Chaos.Resets == 0 {
+		t.Errorf("plan injected no resets/bit flips over %d requests: %+v", len(reqs), status.Chaos)
+	}
+	// Detection must be total: every injected flip (and only genuinely
+	// corrupt bodies) shows up as a caught corrupt response.
+	if status.Integrity.CorruptResponses == 0 {
+		t.Errorf("bit flips injected but none detected: %+v", status.Integrity)
+	}
+	if status.Integrity.BudgetExhausted != 0 {
+		t.Errorf("retry budget exhausted %d times inside a generous budget", status.Integrity.BudgetExhausted)
+	}
+	if status.Integrity.DigestVerified == 0 {
+		t.Error("no digest-verified responses counted")
+	}
+
+	// Same seed, same sequence → same injection trace, on a fresh router
+	// with different shard ports: determinism survives redeployment.
+	baseChaos2, cancelChaos2, _ := boot(t, chaosArgs)
+	defer cancelChaos2()
+	for _, body := range reqs {
+		hashOf(baseChaos2, body)
+	}
+	status2 := routerz(baseChaos2)
+	if status2.Chaos.TraceHash != status.Chaos.TraceHash {
+		t.Errorf("trace diverged across runs of the same plan: %s vs %s",
+			status2.Chaos.TraceHash, status.Chaos.TraceHash)
+	}
+	if status2.Chaos.BitFlips != status.Chaos.BitFlips || status2.Chaos.Resets != status.Chaos.Resets {
+		t.Errorf("fault counts diverged: %+v vs %+v", status2.Chaos, status.Chaos)
 	}
 }

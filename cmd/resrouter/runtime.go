@@ -81,6 +81,12 @@ type procConfig struct {
 	workers    int
 	backoff    time.Duration
 	maxBackoff time.Duration
+	// maxRestarts caps consecutive crash-loop restarts per child
+	// (0 = unlimited); see supervisor.Config.MaxRestarts.
+	maxRestarts int
+	// healthWait bounds how long Start waits for a fresh child's
+	// /v1/healthz (0 = 15s).
+	healthWait time.Duration
 	logf       func(format string, a ...any)
 }
 
@@ -111,13 +117,18 @@ func (p *procRuntime) Start(name string) (string, error) {
 			"-q",
 		)
 	}, supervisor.Config{
-		Backoff:    p.cfg.backoff,
-		MaxBackoff: p.cfg.maxBackoff,
-		OnEvent:    p.logEvent,
+		Backoff:     p.cfg.backoff,
+		MaxBackoff:  p.cfg.maxBackoff,
+		MaxRestarts: p.cfg.maxRestarts,
+		OnEvent:     p.logEvent,
 	})
 
 	addr := "http://" + hostport
-	if err := waitHealthy(addr, 15*time.Second); err != nil {
+	healthWait := p.cfg.healthWait
+	if healthWait <= 0 {
+		healthWait = 15 * time.Second
+	}
+	if err := waitHealthy(addr, healthWait); err != nil {
 		child.Stop()
 		return "", fmt.Errorf("shard %q never became healthy: %w", name, err)
 	}
@@ -139,6 +150,26 @@ func (p *procRuntime) Stop(name string) error {
 	return nil
 }
 
+// KillByAddr SIGKILLs the supervised child listening on hostport
+// ("127.0.0.1:9101"), reporting whether one was found alive. This is the
+// chaos injector's shard-kill hook: the supervisor observes the death
+// like any crash and restarts the child on its stable port.
+func (p *procRuntime) KillByAddr(hostport string) bool {
+	p.mu.Lock()
+	var victim *procShard
+	for _, ps := range p.children {
+		if ps.addr == "http://"+hostport || ps.addr == "https://"+hostport {
+			victim = ps
+			break
+		}
+	}
+	p.mu.Unlock()
+	if victim == nil {
+		return false
+	}
+	return victim.child.Kill()
+}
+
 func (p *procRuntime) logEvent(ev supervisor.Event) {
 	if p.cfg.logf == nil {
 		return
@@ -150,6 +181,8 @@ func (p *procRuntime) logEvent(ev supervisor.Event) {
 		p.cfg.logf("shard %s: pid %d exited (%v); restart in %s", ev.Name, ev.PID, ev.Err, ev.Backoff)
 	case "start-error":
 		p.cfg.logf("shard %s: start failed (%v); retry in %s", ev.Name, ev.Err, ev.Backoff)
+	case "exhausted":
+		p.cfg.logf("shard %s: crash-loop exhausted after %d restarts; giving up", ev.Name, ev.Restarts)
 	case "stop":
 		p.cfg.logf("shard %s: stopped", ev.Name)
 	}

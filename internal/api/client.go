@@ -127,8 +127,15 @@ func (c *Client) AdminTopology(ctx context.Context) (*AdminTopologyResponse, err
 // AdminAddShard adds a shard to the ring (or re-admits a drained one).
 // An empty addr asks the router's shard runtime to materialise it.
 func (c *Client) AdminAddShard(ctx context.Context, name, addr string) (*AdminShardResponse, error) {
+	return c.AdminAddShardWeighted(ctx, name, addr, 0)
+}
+
+// AdminAddShardWeighted is AdminAddShard with an explicit ring weight
+// (0 = the router's default). Re-adding a known shard with a different
+// weight rebalances it in place.
+func (c *Client) AdminAddShardWeighted(ctx context.Context, name, addr string, weight float64) (*AdminShardResponse, error) {
 	var out AdminShardResponse
-	req := AdminAddShardRequest{Name: name, Addr: addr}
+	req := AdminAddShardRequest{Name: name, Addr: addr, VnodeWeight: weight}
 	if err := c.do(ctx, http.MethodPost, "/v1/admin/shards", &req, &out); err != nil {
 		return nil, err
 	}
@@ -185,6 +192,9 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		return fmt.Errorf("%s %s: reading response: %w", method, path, err)
+	}
+	if !VerifyDigest(resp.Header.Get(DigestHeader), raw) {
+		return fmt.Errorf("%s %s: response digest mismatch (corrupt body)", method, path)
 	}
 	if resp.StatusCode != http.StatusOK {
 		var e Error

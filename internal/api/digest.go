@@ -1,0 +1,34 @@
+package api
+
+import (
+	"fmt"
+
+	"repro/internal/sparse"
+)
+
+// DigestHeader carries the end-to-end content digest: every JSON body the
+// solve service or the router writes is stamped with the FNV-1a 64
+// fingerprint of its exact bytes, in the same "fnv1a:%016x" format as the
+// harness residual hashes. The router recomputes the digest over every
+// buffered shard response before relaying it and treats a mismatch like a
+// connection failure (failover to the next ring replica), so a bit flip
+// between shard and router can never reach a client. Clients (the typed
+// Client, resload) may verify the final hop the same way.
+const DigestHeader = "X-Resilient-Digest"
+
+// DigestBytes fingerprints a response body with the repository's FNV-1a
+// 64 family (byte-wise, same loop as sparse.FNV1aString).
+func DigestBytes(b []byte) string {
+	h := uint64(sparse.FNV1aOffset64)
+	for _, c := range b {
+		h = sparse.FNVMix64(h, uint64(c))
+	}
+	return fmt.Sprintf("fnv1a:%016x", h)
+}
+
+// VerifyDigest recomputes the digest of body and compares it to the
+// stamped header value. It reports false only on an actual mismatch: an
+// empty stamp (a pre-digest peer) verifies trivially.
+func VerifyDigest(stamp string, body []byte) bool {
+	return stamp == "" || stamp == DigestBytes(body)
+}

@@ -1,0 +1,77 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestDigestBytesFormat(t *testing.T) {
+	// FNV-1a of the empty input is the offset basis — a fixed point that
+	// pins both the algorithm and the rendered format.
+	if got := DigestBytes(nil); got != "fnv1a:cbf29ce484222325" {
+		t.Errorf("DigestBytes(nil) = %q, want the FNV-1a offset basis", got)
+	}
+	a := DigestBytes([]byte(`{"schema":1}`))
+	if !strings.HasPrefix(a, "fnv1a:") || len(a) != len("fnv1a:")+16 {
+		t.Errorf("digest %q: want fnv1a: plus 16 hex digits", a)
+	}
+	if b := DigestBytes([]byte(`{"schema":2}`)); b == a {
+		t.Errorf("distinct bodies share digest %q", a)
+	}
+	if again := DigestBytes([]byte(`{"schema":1}`)); again != a {
+		t.Errorf("digest not stable: %q vs %q", again, a)
+	}
+}
+
+func TestVerifyDigest(t *testing.T) {
+	body := []byte(`{"schema":1,"served_by":"s0"}` + "\n")
+	stamp := DigestBytes(body)
+	if !VerifyDigest(stamp, body) {
+		t.Error("correct stamp rejected")
+	}
+	// An empty stamp verifies trivially: pre-digest peers stay routable.
+	if !VerifyDigest("", body) {
+		t.Error("unstamped response rejected")
+	}
+	corrupt := append([]byte(nil), body...)
+	corrupt[5] ^= 0x01
+	if VerifyDigest(stamp, corrupt) {
+		t.Error("single-bit corruption passed verification")
+	}
+	if VerifyDigest(stamp, body[:len(body)-1]) {
+		t.Error("truncated body passed verification")
+	}
+}
+
+// TestWriteJSONStampsDigest pins the producer half of the integrity
+// contract: every WriteJSON body carries a digest header that verifies
+// over the exact bytes written, trailing newline included.
+func TestWriteJSONStampsDigest(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusTeapot, map[string]int{"schema": SchemaVersion})
+
+	if rec.Code != http.StatusTeapot {
+		t.Errorf("status %d, want %d", rec.Code, http.StatusTeapot)
+	}
+	body := rec.Body.Bytes()
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		t.Fatalf("body %q: want newline-terminated JSON", body)
+	}
+	stamp := rec.Header().Get(DigestHeader)
+	if stamp == "" {
+		t.Fatal("no digest header stamped")
+	}
+	if !VerifyDigest(stamp, body) {
+		t.Errorf("stamp %q does not verify over the written body %q", stamp, body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var out map[string]int
+	if err := json.Unmarshal(body, &out); err != nil || out["schema"] != SchemaVersion {
+		t.Errorf("body round-trip failed: %v, %v", out, err)
+	}
+}

@@ -94,11 +94,23 @@ func CodeForStatus(status int) string {
 	}
 }
 
-// WriteJSON writes v as the JSON body of the given status.
+// WriteJSON writes v as the JSON body of the given status, stamped with
+// the content digest of the exact bytes written (DigestHeader) so every
+// downstream hop can verify end-to-end integrity. The body keeps the
+// trailing newline json.Encoder used to emit — existing recorded digests
+// and goldens depend on the byte format.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		// Wire types are plain data; a marshal failure is programmer error.
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(DigestHeader, DigestBytes(body))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(body)
 }
 
 // WriteError writes the unified envelope. code "" selects the default

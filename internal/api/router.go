@@ -16,6 +16,48 @@ type RouterzResponse struct {
 	Failovers  int64           `json:"failovers"`
 	Unroutable int64           `json:"unroutable"`
 	Keys       KeyDistribution `json:"keys"`
+	// Integrity reports the router's end-to-end response verification.
+	Integrity IntegrityStats `json:"integrity"`
+	// Chaos is present only when the router runs with a fault-injection
+	// plan (-chaos-plan); it snapshots the injector.
+	Chaos *ChaosStats `json:"chaos,omitempty"`
+}
+
+// IntegrityStats counts the router's response-integrity verdicts: every
+// forwarded shard response is digest- and schema-checked before relay,
+// and a corrupt response is treated exactly like a connection failure.
+type IntegrityStats struct {
+	// DigestVerified counts responses whose stamped digest matched the
+	// received bytes.
+	DigestVerified int64 `json:"digest_verified"`
+	// CorruptResponses counts responses rejected before relay: digest
+	// mismatch or schema violation. None of these reached a client.
+	CorruptResponses int64 `json:"corrupt_responses"`
+	// RetriesSpent counts attempts beyond each request's first, across
+	// all causes (connection failure, 5xx, corruption).
+	RetriesSpent int64 `json:"retries_spent"`
+	// BudgetExhausted counts requests that burned their whole per-request
+	// retry budget without a relayable answer.
+	BudgetExhausted int64 `json:"budget_exhausted"`
+}
+
+// ChaosStats snapshots a fault injector (router -chaos-plan, or the
+// standalone reschaos proxy's /chaosz).
+type ChaosStats struct {
+	Seed          int64 `json:"seed"`
+	Requests      int64 `json:"requests"`
+	Passed        int64 `json:"passed"`
+	Resets        int64 `json:"resets"`
+	Storms503     int64 `json:"storms_503"`
+	Kills         int64 `json:"kills"`
+	Truncations   int64 `json:"truncations"`
+	BitFlips      int64 `json:"bit_flips"`
+	LatencySpikes int64 `json:"latency_spikes"`
+	// TraceHash is the order-independent XOR-fold of every injection
+	// decision (identity, attempt, fault). Two runs of the same plan over
+	// the same request multiset produce the same hash — the determinism
+	// gate chaos-smoke pins in CI.
+	TraceHash string `json:"trace_hash"`
 }
 
 // Shard lifecycle states reported by /routerz and the admin API. A shard
@@ -48,6 +90,9 @@ type ShardStatus struct {
 	// VNodes is the shard's virtual-node count on the ring (0 while
 	// draining — a drained shard owns no keys).
 	VNodes int `json:"vnodes"`
+	// VnodeWeight is the shard's relative ring weight (1.0 = the router's
+	// default vnode count; omitted when default).
+	VnodeWeight float64 `json:"vnode_weight,omitempty"`
 }
 
 // KeyDistribution reports how many distinct routing keys this router has
@@ -79,6 +124,8 @@ type AdminShard struct {
 	// signal an operator watches reach zero before removing a drained
 	// shard.
 	Inflight int64 `json:"inflight"`
+	// VnodeWeight is the shard's relative ring weight (1.0 when omitted).
+	VnodeWeight float64 `json:"vnode_weight,omitempty"`
 }
 
 // AdminTopologyResponse is the body of GET /v1/admin/topology.
@@ -97,6 +144,10 @@ type AdminAddShardRequest struct {
 	Schema int    `json:"schema,omitempty"`
 	Name   string `json:"name"`
 	Addr   string `json:"addr,omitempty"`
+	// VnodeWeight scales the shard's share of the ring relative to the
+	// router's default vnode count (0 or omitted = 1.0). A re-add of a
+	// known shard with a different weight rebalances it in place.
+	VnodeWeight float64 `json:"vnode_weight,omitempty"`
 }
 
 // AdminShardResponse is the body of a successful shard add or drain.

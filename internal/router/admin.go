@@ -73,7 +73,7 @@ func (r *Router) handleAdminAddShard(w http.ResponseWriter, req *http.Request) {
 		respondBadRequest(w, errors.New("shard needs a name"))
 		return
 	}
-	sh, err := r.AddShard(body.Name, body.Addr)
+	sh, err := r.AddShard(body.Name, body.Addr, body.VnodeWeight)
 	if err != nil {
 		respondAdminErr(w, err)
 		return

@@ -53,9 +53,9 @@ func (r *Router) Apply(topo Topology) (ApplyReport, error) {
 	r.applyMu.Lock()
 	defer r.applyMu.Unlock()
 
-	desired := make(map[string]string, len(topo.Shards))
+	desired := make(map[string]Shard, len(topo.Shards))
 	for _, sh := range topo.Shards {
-		desired[sh.Name] = sh.Addr
+		desired[sh.Name] = sh
 	}
 
 	// Phase 1 (no locks): materialise joiners. A start failure aborts the
@@ -87,7 +87,7 @@ func (r *Router) Apply(topo Topology) (ApplyReport, error) {
 	var leaverStops []string
 	r.ringMu.Lock()
 	for name, s := range r.shards {
-		addr, keep := desired[name]
+		want, keep := desired[name]
 		if !keep {
 			r.ring.Remove(name)
 			delete(r.shards, name)
@@ -98,13 +98,24 @@ func (r *Router) Apply(topo Topology) (ApplyReport, error) {
 			continue
 		}
 		changed := false
-		if addr != "" && addr != s.baseURL() {
-			s.setAddr(addr)
+		if want.Addr != "" && want.Addr != s.baseURL() {
+			s.setAddr(want.Addr)
+			changed = true
+		}
+		if want.VnodeWeight != s.getWeight() {
+			// Reweight in place: vnodes keep their canonical "name#i"
+			// positions, so only the keys owned by the count difference
+			// move — a weighted rebalance is as minimal as a join or leave.
+			s.setWeight(want.VnodeWeight)
+			if !s.isDrained() {
+				r.ring.Remove(name)
+				r.ring.AddN(name, r.vnodesFor(want.VnodeWeight))
+			}
 			changed = true
 		}
 		if s.isDrained() {
 			s.setDrained(false)
-			r.ring.Add(name)
+			r.ring.AddN(name, r.vnodesFor(s.getWeight()))
 			changed = true
 		}
 		if changed {
@@ -115,7 +126,7 @@ func (r *Router) Apply(topo Topology) (ApplyReport, error) {
 	}
 	for name, st := range states {
 		r.shards[name] = st
-		r.ring.Add(name)
+		r.ring.AddN(name, r.vnodesFor(st.getWeight()))
 		rep.Added = append(rep.Added, name)
 	}
 	r.ringMu.Unlock()
@@ -136,14 +147,18 @@ func (r *Router) Apply(topo Topology) (ApplyReport, error) {
 }
 
 // AddShard joins a new shard to the ring, or re-admits a drained one of
-// the same name (clearing the drain latch). An empty addr asks the
-// runtime to materialise the process. The shard is probed synchronously
-// before it joins, so its health picture is current the moment keys can
-// land on it — a dead addr joins as ejected and converges through the
-// probe loop like any other ejection.
-func (r *Router) AddShard(name, addr string) (api.AdminShard, error) {
+// the same name (clearing the drain latch), or rebalances an active one
+// whose weight changed. An empty addr asks the runtime to materialise
+// the process; weight 0 selects the router's default vnode count. The
+// shard is probed synchronously before it joins, so its health picture
+// is current the moment keys can land on it — a dead addr joins as
+// ejected and converges through the probe loop like any other ejection.
+func (r *Router) AddShard(name, addr string, weight float64) (api.AdminShard, error) {
 	if name == "" {
 		return api.AdminShard{}, errors.New("router: shard needs a name")
+	}
+	if weight < 0 || weight > maxVnodeWeight {
+		return api.AdminShard{}, fmt.Errorf("router: vnode_weight %g out of (0, %g]", weight, maxVnodeWeight)
 	}
 	r.applyMu.Lock()
 	defer r.applyMu.Unlock()
@@ -154,6 +169,17 @@ func (r *Router) AddShard(name, addr string) (api.AdminShard, error) {
 
 	if existing != nil {
 		if !existing.isDrained() {
+			if weight != 0 && weight != existing.getWeight() {
+				// Weighted re-add of an active shard = in-place rebalance:
+				// vnodes keep their canonical positions, so only the keys
+				// owned by the count difference change owner.
+				existing.setWeight(weight)
+				r.ringMu.Lock()
+				r.ring.Remove(name)
+				r.ring.AddN(name, r.vnodesFor(weight))
+				r.ringMu.Unlock()
+				return existing.adminView(), nil
+			}
 			return existing.adminView(), fmt.Errorf("%w: %q", ErrShardExists, name)
 		}
 		// Re-admission: same state machine as a probe re-admission, just
@@ -161,22 +187,25 @@ func (r *Router) AddShard(name, addr string) (api.AdminShard, error) {
 		if addr != "" {
 			existing.setAddr(addr)
 		}
+		if weight != 0 {
+			existing.setWeight(weight)
+		}
 		existing.setDrained(false)
 		r.probe(existing)
 		r.ringMu.Lock()
-		r.ring.Add(name)
+		r.ring.AddN(name, r.vnodesFor(existing.getWeight()))
 		r.ringMu.Unlock()
 		return existing.adminView(), nil
 	}
 
-	st, err := r.materialize(Shard{Name: name, Addr: addr})
+	st, err := r.materialize(Shard{Name: name, Addr: addr, VnodeWeight: weight})
 	if err != nil {
 		return api.AdminShard{}, err
 	}
 	r.probe(st)
 	r.ringMu.Lock()
 	r.shards[name] = st
-	r.ring.Add(name)
+	r.ring.AddN(name, r.vnodesFor(weight))
 	r.ringMu.Unlock()
 	return st.adminView(), nil
 }
@@ -275,10 +304,11 @@ func (r *Router) CurrentTopology() api.AdminTopologyResponse {
 func (s *shardState) adminView() api.AdminShard {
 	s.mu.Lock()
 	v := api.AdminShard{
-		Name:    s.name,
-		Addr:    s.addr,
-		State:   s.stateLocked(),
-		Healthy: s.healthy,
+		Name:        s.name,
+		Addr:        s.addr,
+		State:       s.stateLocked(),
+		Healthy:     s.healthy,
+		VnodeWeight: s.weight,
 	}
 	s.mu.Unlock()
 	v.Inflight = s.inflight.Load()

@@ -34,6 +34,9 @@ type shardState struct {
 	// Shards start healthy — a router in front of a live shard set must
 	// route before the first probe round completes.
 	healthy bool
+	// weight is the shard's relative ring weight (0 = the router default).
+	// Guarded by mu: an admin re-add may rebalance a shard in place.
+	weight float64
 	// drained is the admin drain latch: a drained shard is off the ring
 	// (new keys route past it) and stays out no matter what the probes
 	// say — only an admin re-add clears the latch. Probes keep running so
@@ -74,6 +77,18 @@ func (s *shardState) setDrained(d bool) {
 	s.mu.Lock()
 	s.drained = d
 	s.mu.Unlock()
+}
+
+func (s *shardState) setWeight(w float64) {
+	s.mu.Lock()
+	s.weight = w
+	s.mu.Unlock()
+}
+
+func (s *shardState) getWeight() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.weight
 }
 
 func (s *shardState) isDrained() bool {
@@ -181,6 +196,7 @@ func (s *shardState) status(vnodes int) ShardStatus {
 		EWMALatencyMs:       s.ewmaMs,
 		LastError:           s.lastErr,
 		VNodes:              vnodes,
+		VnodeWeight:         s.weight,
 	}
 	if !s.lastProbe.IsZero() {
 		st.LastProbeAgeSeconds = time.Since(s.lastProbe).Seconds()

@@ -37,8 +37,8 @@ const DefaultVnodes = 64
 // Ring is not safe for concurrent mutation; Router guards it.
 type Ring struct {
 	vnodes int
-	shards map[string]bool
-	points []point // sorted by hash
+	shards map[string]int // name → its vnode count on the ring
+	points []point        // sorted by hash
 }
 
 type point struct {
@@ -52,16 +52,29 @@ func NewRing(vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVnodes
 	}
-	return &Ring{vnodes: vnodes, shards: make(map[string]bool)}
+	return &Ring{vnodes: vnodes, shards: make(map[string]int)}
 }
 
-// Add inserts a shard's virtual nodes. Adding a present shard is a no-op.
-func (r *Ring) Add(shard string) {
-	if r.shards[shard] {
+// Add inserts a shard's virtual nodes at the ring's default count. Adding
+// a present shard is a no-op.
+func (r *Ring) Add(shard string) { r.AddN(shard, r.vnodes) }
+
+// AddN inserts a shard with an explicit vnode count — the weighted-ring
+// primitive: a shard's share of the key space is proportional to its
+// count, and each vnode keeps its canonical "name#i" position, so
+// reweighting from n to m moves only the keys owned by the vnodes in the
+// difference. n is clamped to at least 1 (a member shard must own keys).
+// Adding a present shard is a no-op regardless of n; reweight via
+// Remove + AddN.
+func (r *Ring) AddN(shard string, n int) {
+	if _, ok := r.shards[shard]; ok {
 		return
 	}
-	r.shards[shard] = true
-	for i := 0; i < r.vnodes; i++ {
+	if n < 1 {
+		n = 1
+	}
+	r.shards[shard] = n
+	for i := 0; i < n; i++ {
 		r.points = append(r.points, point{hash: vnodeHash(shard, i), shard: shard})
 	}
 	sort.Slice(r.points, func(i, j int) bool {
@@ -74,9 +87,12 @@ func (r *Ring) Add(shard string) {
 	})
 }
 
+// VNodes returns a member shard's vnode count (0 for non-members).
+func (r *Ring) VNodes(shard string) int { return r.shards[shard] }
+
 // Remove deletes a shard's virtual nodes; only its keys change owner.
 func (r *Ring) Remove(shard string) {
-	if !r.shards[shard] {
+	if _, ok := r.shards[shard]; !ok {
 		return
 	}
 	delete(r.shards, shard)
@@ -103,10 +119,26 @@ func (r *Ring) Shards() []string {
 func (r *Ring) Len() int { return len(r.shards) }
 
 // KeyHash is the position of a routing key on the ring.
-func KeyHash(key string) uint64 { return sparse.FNV1aString(key) }
+func KeyHash(key string) uint64 { return spread(sparse.FNV1aString(key)) }
 
 func vnodeHash(shard string, i int) uint64 {
-	return sparse.FNV1aString(fmt.Sprintf("%s#%d", shard, i))
+	return spread(sparse.FNV1aString(fmt.Sprintf("%s#%d", shard, i)))
+}
+
+// spread is a 64-bit finalizer (splitmix64's mixer) over the FNV point
+// hashes. FNV-1a alone leaves the nearly-identical "name#i" strings — and
+// the spec keys, which differ only in a few digits — in tight clusters on
+// the ring, so arc lengths stop tracking vnode counts and weighting a
+// shard barely moves its share. Full avalanche restores the property the
+// ring's balance (and vnode_weight) depends on: point positions that are
+// uniform regardless of how similar the inputs look.
+func spread(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // Lookup returns the shard owning the key, or "" on an empty ring.

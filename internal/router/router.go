@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -70,6 +71,17 @@ type Config struct {
 	// cap — huge inline matrices — are forwarded to the key's owner only,
 	// in a single attempt, instead of pinning the buffer across retries.
 	RetryBodyBytes int64
+	// RetryBudget is the per-request attempt ceiling (first try included,
+	// default 4): attempts cycle the ring candidates until one answer is
+	// relayable or the budget is spent. The budget is what keeps an
+	// injected fault storm from amplifying into a retry storm — corrupt
+	// responses, resets and 5xxs all draw from the same pool.
+	RetryBudget int
+	// RetryBackoff is the base delay before the second attempt (default
+	// 25ms), doubling per attempt with ±50% jitter. A shard-supplied
+	// retry_after_ms hint (429/503 envelope) overrides the backoff when
+	// longer. Backoff paces retries only; it never touches result bytes.
+	RetryBackoff time.Duration
 	// AdminToken enables the /v1/admin surface: requests must carry it as
 	// a bearer token. Empty disables the surface entirely (403).
 	AdminToken string
@@ -78,6 +90,12 @@ type Config struct {
 	// process and report where it listens. Nil means address-less shards
 	// are rejected.
 	Runtime ShardRuntime
+	// Transport, when set, replaces the default shard-facing transport —
+	// the seam the chaos injector wires into (-chaos-plan).
+	Transport http.RoundTripper
+	// ChaosStats, when set, contributes a fault-injection snapshot to
+	// /routerz (the chaos section is omitted otherwise).
+	ChaosStats func() *api.ChaosStats
 }
 
 func (c Config) withDefaults() Config {
@@ -102,15 +120,41 @@ func (c Config) withDefaults() Config {
 	if c.RetryBodyBytes == 0 {
 		c.RetryBodyBytes = 8 << 20
 	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 4
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
 	return c
 }
 
 // Shard names one routing target: a unique label and the base URL of a
 // resilientd process. An empty Addr asks the configured ShardRuntime to
-// materialise the process.
+// materialise the process. VnodeWeight scales the shard's share of the
+// ring relative to the router's default vnode count (0 = 1.0).
 type Shard struct {
-	Name string `json:"name"`
-	Addr string `json:"addr"`
+	Name        string  `json:"name"`
+	Addr        string  `json:"addr"`
+	VnodeWeight float64 `json:"vnode_weight,omitempty"`
+}
+
+// maxVnodeWeight bounds a shard's relative ring weight: high enough for
+// any sane capacity skew, low enough that one entry cannot blow the
+// point list up.
+const maxVnodeWeight = 16.0
+
+// vnodesFor maps a relative weight to a concrete vnode count on this
+// router's ring (weight 0 = the default count; always at least 1).
+func (r *Router) vnodesFor(weight float64) int {
+	if weight == 0 {
+		return r.cfg.Vnodes
+	}
+	n := int(weight*float64(r.cfg.Vnodes) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Router is the consistent-hash routing tier. Construct with New, mount
@@ -149,6 +193,13 @@ type Router struct {
 	routed     atomic.Int64
 	failovers  atomic.Int64
 	unroutable atomic.Int64
+
+	// Integrity counters: every forwarded response is digest- and
+	// schema-verified before relay (see forward).
+	digestVerified   atomic.Int64
+	corruptResponses atomic.Int64
+	retriesSpent     atomic.Int64
+	budgetExhausted  atomic.Int64
 }
 
 // New builds a router over the shard set and starts its health prober.
@@ -162,7 +213,7 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	}
 	r := &Router{
 		cfg:     cfg,
-		client:  &http.Client{},
+		client:  &http.Client{Transport: cfg.Transport},
 		runtime: cfg.Runtime,
 		ring:    NewRing(cfg.Vnodes),
 		shards:  make(map[string]*shardState, len(shards)),
@@ -182,7 +233,7 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 			return nil, err
 		}
 		r.shards[sh.Name] = st
-		r.ring.Add(sh.Name)
+		r.ring.AddN(sh.Name, r.vnodesFor(sh.VnodeWeight))
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", r.handleSolve)
@@ -212,7 +263,7 @@ func (r *Router) materialize(sh Shard) (*shardState, error) {
 		addr = started
 		managed = true
 	}
-	return &shardState{name: sh.Name, addr: addr, managed: managed, healthy: true}, nil
+	return &shardState{name: sh.Name, addr: addr, managed: managed, healthy: true, weight: sh.VnodeWeight}, nil
 }
 
 // Handler returns the HTTP API: /v1/solve (routed), /routerz,
@@ -368,10 +419,12 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable, errors.New("router: no shard available"), 0)
 		return
 	}
+	budget := r.cfg.RetryBudget
 	if r.cfg.RetryBodyBytes > 0 && int64(len(body)) > r.cfg.RetryBodyBytes {
 		// Too large to hold for a resend: single attempt on the key's
 		// owner, no failover. The solve still runs; only retry is waived.
 		cands = cands[:1]
+		budget = 1
 	}
 
 	timeout := r.cfg.RequestTimeout
@@ -383,21 +436,36 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	ctx, cancel := context.WithTimeout(req.Context(), timeout)
 	defer cancel()
 
+	// Attempts cycle the candidate list until one response is relayable
+	// or the per-request budget is spent. The budget bounds every retry
+	// cause at once — connection failures, 5xx refusals and corrupt
+	// (digest- or schema-failing) responses — so a fault storm between
+	// router and shards cannot amplify into a retry storm.
 	var lastErr error
-	for i, s := range cands {
-		if i > 0 {
+	var retryHint time.Duration
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
 			r.failovers.Add(1)
+			r.retriesSpent.Add(1)
+			if !r.retrySleep(ctx, attempt, retryHint) {
+				break
+			}
 		}
-		done, err := r.forward(ctx, w, s, path, body, i > 0)
+		s := cands[attempt%len(cands)]
+		done, hint, err := r.forward(ctx, w, s, path, body, attempt > 0)
 		if done {
 			r.routed.Add(1)
 			r.trackKey(id.Key, s.name)
 			return
 		}
 		lastErr = err
+		retryHint = hint
 		if ctx.Err() != nil {
 			break
 		}
+	}
+	if ctx.Err() == nil {
+		r.budgetExhausted.Add(1)
 	}
 	r.unroutable.Add(1)
 	status := http.StatusBadGateway
@@ -414,27 +482,73 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		code = api.CodeSaturated
 		retry = retryAfterSaturatedMillis
 	}
-	api.WriteError(w, status, code, fmt.Errorf("router: all %d candidate shards failed, last: %w", len(cands), lastErr), retry)
+	api.WriteError(w, status, code, fmt.Errorf("router: %d attempts over %d candidate shards failed, last: %w", budget, len(cands), lastErr), retry)
 }
 
 // errSaturated marks a 429 refusal: retryable on the next replica, and
 // relayed as 429 (not 502) when every candidate refuses.
 var errSaturated = errors.New("shard queue saturated (429)")
 
+// maxRetryAfterHint clamps a shard-supplied retry_after_ms before the
+// router honors it internally: a shard cannot stall a routed request's
+// retry loop for longer than this per attempt.
+const maxRetryAfterHint = 2 * time.Second
+
+// retrySleep paces one retry: the jittered exponential backoff
+// (RetryBackoff·2^(attempt−1), ±50%) or the shard's retry_after hint,
+// whichever is longer. Returns false when the request deadline expires
+// mid-wait. Jitter decorrelates concurrent retry waves; it never touches
+// result bytes, so the determinism gates are indifferent to it.
+func (r *Router) retrySleep(ctx context.Context, attempt int, hint time.Duration) bool {
+	d := r.cfg.RetryBackoff << uint(attempt-1)
+	d = d/2 + time.Duration(rand.Int63n(int64(d)+1))
+	if hint > maxRetryAfterHint {
+		hint = maxRetryAfterHint
+	}
+	if hint > d {
+		d = hint
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// retryAfterHint pulls the retry_after_ms hint out of a 429/503 envelope
+// body, so the internal retry path honors the same backpressure signal
+// the envelope relays to clients.
+func retryAfterHint(body []byte) time.Duration {
+	var e api.Error
+	if json.Unmarshal(body, &e) != nil || e.RetryAfterMillis <= 0 {
+		return 0
+	}
+	return time.Duration(e.RetryAfterMillis) * time.Millisecond
+}
+
 // forward sends the solve to one shard. It returns done=true when a
 // response was relayed to the client; false with the cause means the
 // next replica should be tried: the solve is deterministic and
 // idempotent, so retrying is always safe when the shard could not take
 // the request — a connection failure, a 503 (draining) or a 429 (queue
-// saturated; the replica can absorb the burst). Responses the shard
-// actually computed — 200s, validation 4xxs, solver 5xxs — are relayed,
-// not retried: the next shard would compute the identical answer.
-func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, path string, body []byte, isRetry bool) (bool, error) {
+// saturated; the replica can absorb the burst) — or when the response
+// failed integrity verification: a stamped digest that does not match
+// the received bytes, or a 200 body without the current schema stamp, is
+// treated exactly like a connection failure (the bytes are corrupt; the
+// next shard computes the identical answer). Responses the shard
+// actually computed and that verify — 200s, validation 4xxs, solver
+// 5xxs — are relayed, not retried. hint carries a shard-supplied
+// retry_after_ms to pace the next attempt.
+func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, path string, body []byte, isRetry bool) (done bool, hint time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// GetBody lets seam transports (the chaos injector) fingerprint the
+	// request without consuming the primary reader.
+	hreq.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
 	s.inflight.Add(1)
 	start := time.Now()
 	resp, err := r.client.Do(hreq)
@@ -447,23 +561,24 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 		if ctx.Err() == nil {
 			s.notePassive(false, err.Error(), r.cfg.FailThreshold)
 		}
-		return false, err
+		return false, 0, err
 	}
 	defer resp.Body.Close()
 	s.routed.Add(1)
 	s.observeLatency(latency)
 	switch resp.StatusCode {
 	case http.StatusServiceUnavailable:
-		// Draining or refusing: the next replica can serve this key.
-		io.Copy(io.Discard, resp.Body)
+		// Draining or refusing: the next replica can serve this key, after
+		// any backoff the shard asked for.
+		refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		s.notePassive(false, "shard answered 503", r.cfg.FailThreshold)
-		return false, fmt.Errorf("%s: 503 from shard", s.name)
+		return false, retryAfterHint(refusal), fmt.Errorf("%s: 503 from shard", s.name)
 	case http.StatusTooManyRequests:
 		// Saturated, not sick: spill to the replica without feeding the
 		// circuit breaker. Backpressure reaches the client only when
 		// every candidate refuses.
-		io.Copy(io.Discard, resp.Body)
-		return false, fmt.Errorf("%s: %w", s.name, errSaturated)
+		refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return false, retryAfterHint(refusal), fmt.Errorf("%s: %w", s.name, errSaturated)
 	}
 	// Buffer the body before relaying: once headers go to the client the
 	// request cannot fail over, so a connection that dies mid-body (the
@@ -472,7 +587,30 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
 		s.notePassive(false, err.Error(), r.cfg.FailThreshold)
-		return false, fmt.Errorf("%s: reading shard response: %w", s.name, err)
+		return false, 0, fmt.Errorf("%s: reading shard response: %w", s.name, err)
+	}
+	// End-to-end integrity: recompute the stamped content digest over the
+	// exact received bytes, and require the current schema stamp inside
+	// every 200 body. A failure means the bytes in hand are not what the
+	// shard computed — never relay them.
+	digest := resp.Header.Get(api.DigestHeader)
+	if !api.VerifyDigest(digest, payload) {
+		r.corruptResponses.Add(1)
+		s.notePassive(false, "response digest mismatch", r.cfg.FailThreshold)
+		return false, 0, fmt.Errorf("%s: response digest mismatch (corrupt body)", s.name)
+	}
+	if resp.StatusCode == http.StatusOK {
+		var stamp struct {
+			Schema int `json:"schema"`
+		}
+		if json.Unmarshal(payload, &stamp) != nil || stamp.Schema != api.SchemaVersion {
+			r.corruptResponses.Add(1)
+			s.notePassive(false, "response schema violation", r.cfg.FailThreshold)
+			return false, 0, fmt.Errorf("%s: response schema violation (corrupt body)", s.name)
+		}
+	}
+	if digest != "" {
+		r.digestVerified.Add(1)
 	}
 	s.notePassive(resp.StatusCode < 500, "shard answered "+resp.Status, r.cfg.FailThreshold)
 
@@ -480,13 +618,17 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		h.Set("Content-Type", ct)
 	}
+	if digest != "" {
+		// Relay the verified digest so the client can check the final hop.
+		h.Set(api.DigestHeader, digest)
+	}
 	h.Set("X-Resilient-Shard", s.name)
 	if isRetry {
 		h.Set("X-Resilient-Failover", "true")
 	}
 	w.WriteHeader(resp.StatusCode)
 	w.Write(payload)
-	return true, nil
+	return true, 0, nil
 }
 
 func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
@@ -505,7 +647,9 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 	statuses := make([]ShardStatus, 0, len(names))
 	healthy := 0
 	for _, n := range names {
-		st := r.shards[n].status(r.cfg.Vnodes)
+		// Report the shard's actual point count on the ring: weighted
+		// shards own more or fewer than the default, drained shards zero.
+		st := r.shards[n].status(r.ring.VNodes(n))
 		if st.Healthy {
 			healthy++
 		}
@@ -521,7 +665,7 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 	}
 	r.keysMu.Unlock()
 
-	api.WriteJSON(w, http.StatusOK, RouterzResponse{
+	out := RouterzResponse{
 		Schema:        SchemaVersion,
 		UptimeSeconds: time.Since(r.started).Seconds(),
 		Vnodes:        r.cfg.Vnodes,
@@ -537,7 +681,17 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 			Saturated: distinct >= maxTrackedKeys,
 			PerShard:  perShard,
 		},
-	})
+		Integrity: api.IntegrityStats{
+			DigestVerified:   r.digestVerified.Load(),
+			CorruptResponses: r.corruptResponses.Load(),
+			RetriesSpent:     r.retriesSpent.Load(),
+			BudgetExhausted:  r.budgetExhausted.Load(),
+		},
+	}
+	if r.cfg.ChaosStats != nil {
+		out.Chaos = r.cfg.ChaosStats()
+	}
+	api.WriteJSON(w, http.StatusOK, out)
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

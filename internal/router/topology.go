@@ -45,6 +45,9 @@ func (t *Topology) Validate() error {
 			return fmt.Errorf("topology: duplicate shard name %q", sh.Name)
 		}
 		seen[sh.Name] = true
+		if sh.VnodeWeight < 0 || sh.VnodeWeight > maxVnodeWeight {
+			return fmt.Errorf("topology: shard %q: vnode_weight %g out of (0, %g]", sh.Name, sh.VnodeWeight, maxVnodeWeight)
+		}
 		if sh.Addr == "" {
 			continue // spawned in-process by resrouter
 		}

@@ -27,6 +27,13 @@ type Config struct {
 	// Grace is how long Stop waits after SIGTERM before SIGKILL
 	// (default 5s).
 	Grace time.Duration
+	// MaxRestarts caps the consecutive restarts a crash-looping child
+	// gets: after the cap is spent (the initial run plus MaxRestarts
+	// relaunches all died before ResetAfter), supervision gives up with a
+	// terminal "exhausted" event instead of relaunching forever. 0 means
+	// unlimited. A run of at least ResetAfter forgives the count along
+	// with the backoff.
+	MaxRestarts int
 	// OnEvent, when set, observes every lifecycle transition.
 	OnEvent func(Event)
 }
@@ -51,7 +58,9 @@ func (c Config) withDefaults() Config {
 type Event struct {
 	// Name labels the child (the shard name in resrouter).
 	Name string
-	// Kind is "start", "start-error", "exit" or "stop".
+	// Kind is "start", "start-error", "exit", "exhausted" or "stop".
+	// "exhausted" is terminal: the crash-loop spent MaxRestarts and no
+	// further restart follows.
 	Kind string
 	// PID is set on "start" and "exit".
 	PID int
@@ -105,6 +114,9 @@ func (c *Child) loop() {
 	defer close(c.done)
 	backoff := c.cfg.Backoff
 	restarts := 0
+	// loopCrashes counts consecutive short-lived runs; a run of at least
+	// ResetAfter forgives it together with the backoff.
+	loopCrashes := 0
 	for {
 		cmd := c.build()
 		c.mu.Lock()
@@ -120,6 +132,7 @@ func (c *Child) loop() {
 
 		if err != nil {
 			c.event("start-error", 0, err, backoff, restarts)
+			loopCrashes++
 		} else {
 			pid := cmd.Process.Pid
 			c.event("start", pid, nil, 0, restarts)
@@ -135,9 +148,18 @@ func (c *Child) loop() {
 			if time.Since(began) >= c.cfg.ResetAfter {
 				// Long enough a run to call the crash fresh, not a loop.
 				backoff = c.cfg.Backoff
+				loopCrashes = 0
 			}
 			c.event("exit", pid, werr, backoff, restarts)
 			restarts++
+			loopCrashes++
+		}
+		if c.cfg.MaxRestarts > 0 && loopCrashes > c.cfg.MaxRestarts {
+			// The initial run plus MaxRestarts relaunches all died young:
+			// this child is beyond supervision. Terminal — no relaunch, and
+			// nothing (port, process slot) stays reserved behind it.
+			c.event("exhausted", 0, nil, 0, restarts)
+			return
 		}
 
 		select {
@@ -167,6 +189,21 @@ func (c *Child) PID() int {
 		return 0
 	}
 	return c.cmd.Process.Pid
+}
+
+// Kill SIGKILLs the currently running process WITHOUT ending
+// supervision: the loop observes the death as a crash and restarts the
+// child after backoff. Reports whether a live process was signalled.
+// This is the fault-injection hook — a chaos "shard kill" is exactly an
+// unplanned death the watchdog must absorb.
+func (c *Child) Kill() bool {
+	c.mu.Lock()
+	cmd := c.cmd
+	c.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return false
+	}
+	return cmd.Process.Kill() == nil
 }
 
 // Stop terminates the child for good: SIGTERM, a grace period, then

@@ -1,6 +1,7 @@
 package supervisor
 
 import (
+	"net"
 	"os/exec"
 	"sync"
 	"testing"
@@ -166,5 +167,93 @@ func TestStopKillsStubbornChild(t *testing.T) {
 	}
 	if c.Alive() {
 		t.Error("child survived SIGKILL")
+	}
+}
+
+// TestCrashLoopExhaustion pins the restart-limit contract: a child that
+// dies instantly gets its initial run plus MaxRestarts relaunches, then a
+// terminal "exhausted" event — no further restarts, nothing left holding
+// the port the child was supposed to serve on, and Stop stays safe to
+// call on the given-up child.
+func TestCrashLoopExhaustion(t *testing.T) {
+	// Reserve a port the way resrouter's proc runtime does for a
+	// supervised shard: the address must be reusable once supervision
+	// gives the child up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostport := ln.Addr().String()
+	ln.Close()
+
+	const maxRestarts = 3
+	rec := &recorder{}
+	c := Supervise("doomed", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "exit 7")
+	}, Config{
+		Backoff:     5 * time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		ResetAfter:  time.Hour, // instant deaths never earn forgiveness
+		MaxRestarts: maxRestarts,
+		OnEvent:     rec.observe,
+	})
+	defer c.Stop()
+
+	waitUntil(t, "exhaustion", func() bool { return rec.count("exhausted") == 1 })
+
+	// The supervision loop must have fully exited, not be sleeping toward
+	// another relaunch.
+	time.Sleep(50 * time.Millisecond) // several backoffs past the last exit
+	if got := rec.count("start"); got != maxRestarts+1 {
+		t.Errorf("%d starts, want initial run + %d restarts = %d", got, maxRestarts, maxRestarts+1)
+	}
+	if got := rec.count("exit"); got != maxRestarts+1 {
+		t.Errorf("%d exits, want %d", got, maxRestarts+1)
+	}
+	if got := rec.count("exhausted"); got != 1 {
+		t.Errorf("%d exhausted events, want exactly 1", got)
+	}
+	if c.Alive() {
+		t.Error("child alive after exhaustion")
+	}
+	// Terminal event ordering: nothing follows "exhausted".
+	events := rec.snapshot()
+	if last := events[len(events)-1]; last.Kind != "exhausted" {
+		t.Errorf("last event %q, want exhausted", last.Kind)
+	}
+
+	// The reserved port is free again — an exhausted child leaks nothing.
+	ln2, err := net.Listen("tcp", hostport)
+	if err != nil {
+		t.Errorf("reserved port not rebindable after exhaustion: %v", err)
+	} else {
+		ln2.Close()
+	}
+
+	// Stop on an exhausted child returns promptly and is idempotent.
+	begun := time.Now()
+	c.Stop()
+	c.Stop()
+	if took := time.Since(begun); took > 2*time.Second {
+		t.Errorf("Stop took %s on an exhausted child", took)
+	}
+}
+
+// TestUnlimitedRestartsWithoutCap: MaxRestarts 0 keeps the pre-limit
+// behavior — the crash loop just keeps relaunching.
+func TestUnlimitedRestartsWithoutCap(t *testing.T) {
+	rec := &recorder{}
+	c := Supervise("forever", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "exit 1")
+	}, Config{
+		Backoff:    2 * time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+		ResetAfter: time.Hour,
+		OnEvent:    rec.observe,
+	})
+	defer c.Stop()
+	waitUntil(t, "many restarts", func() bool { return rec.count("start") >= 8 })
+	if got := rec.count("exhausted"); got != 0 {
+		t.Errorf("%d exhausted events with no cap configured", got)
 	}
 }
