@@ -28,6 +28,18 @@
 // concurrency, unless overridden) and fails -check unless every cell
 // reproduces its recorded residual hash.
 //
+// Tail-latency modes:
+//
+//	resload -addr ... -stream -check          # every solve streamed as SSE
+//	resload -addr ... -router -hedge -check   # unhedged-vs-hedged A/B
+//
+// -stream issues every request with Accept: text/event-stream, verifies
+// each frame and the stream trailer, and re-checks every terminal hash
+// against a buffered solve. -hedge runs a discarded warmup, an unhedged
+// pass (per-request opt-out header), then a hedged pass, and -check
+// requires the hedged P99 to beat the unhedged one with at least one
+// hedge armed and won.
+//
 // The emitted record is schema-versioned JSON in the same style as the
 // campaign and benchmark tooling, so CI can gate on it.
 package main
@@ -40,7 +52,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"os"
 	"sort"
@@ -92,7 +103,7 @@ type Record struct {
 	Throughput  float64 `json:"throughput_rps"`
 	// Latency summarises the per-request round-trip times of all
 	// responses (errors included — they consumed client time too).
-	Latency LatencySummary `json:"latency"`
+	Latency api.LatencySummary `json:"latency"`
 	// Mix reports per-cell determinism: DistinctHashes must be 1 for
 	// every cell with at least one OK response.
 	Mix           []MixCell `json:"mix"`
@@ -108,6 +119,38 @@ type Record struct {
 	// Router is set in -router mode: the target's /routerz snapshot
 	// after the run.
 	Router *RouterSummary `json:"router,omitempty"`
+	// Stream is set in -stream mode: streamed terminal results
+	// cross-checked against buffered answers for the same cells.
+	Stream *StreamCheck `json:"stream,omitempty"`
+	// Hedge is set in -hedge mode: the unhedged-vs-hedged A/B latency
+	// comparison.
+	Hedge *HedgeCheck `json:"hedge,omitempty"`
+}
+
+// StreamCheck reports the -stream mode gates: every request of the main
+// pass was a streamed solve, and each deterministic cell's terminal
+// hash is re-checked against a buffered solve of the same request.
+type StreamCheck struct {
+	// Requests counts streamed solves issued; Events the SSE frames
+	// decoded (and digest-verified) across all of them.
+	Requests int64 `json:"requests"`
+	Events   int64 `json:"events"`
+	// Checks counts buffered re-issues; Mismatches counts terminal hashes
+	// that differed from the buffered hash; Errors counts re-issues that
+	// failed outright.
+	Checks     int `json:"checks"`
+	Mismatches int `json:"mismatches"`
+	Errors     int `json:"errors"`
+}
+
+// HedgeCheck reports the -hedge A/B experiment: one unhedged pass (the
+// per-request opt-out header) and one hedged pass over the identical
+// mix, after a discarded warmup that removes the cache-cold bias.
+// Both passes' hashes feed the shared determinism gate, so the
+// comparison doubles as proof that hedging never perturbed a result.
+type HedgeCheck struct {
+	Unhedged api.LatencySummary `json:"unhedged"`
+	Hedged   api.LatencySummary `json:"hedged"`
 }
 
 // ReplayCheck reports how a replayed campaign compared to its recording.
@@ -155,6 +198,8 @@ type RouterSummary struct {
 	// Chaos is present when the router runs a fault-injection plan.
 	Integrity api.IntegrityStats `json:"integrity"`
 	Chaos     *api.ChaosStats    `json:"chaos,omitempty"`
+	// Hedge echoes the router's hedged-read counters.
+	Hedge *api.HedgeStats `json:"hedge,omitempty"`
 }
 
 // Campaign is the recorded request mix (-record / -replay): the
@@ -182,15 +227,6 @@ type CampaignCell struct {
 	// the expected value. Batched cells join their per-RHS hashes with
 	// "+" in RHS order.
 	ResidualHash string `json:"residual_hash,omitempty"`
-}
-
-// LatencySummary holds round-trip percentiles in milliseconds.
-type LatencySummary struct {
-	MeanMs float64 `json:"mean_ms"`
-	P50Ms  float64 `json:"p50_ms"`
-	P90Ms  float64 `json:"p90_ms"`
-	P99Ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
 }
 
 // MixCell is one request template of the mix and its aggregate outcome.
@@ -237,7 +273,20 @@ type outcome struct {
 	// digestBad marks a response whose stamped X-Resilient-Digest did not
 	// match the received bytes: corrupt bytes reached this client.
 	digestBad bool
-	latency   time.Duration
+	// events counts the SSE frames a streamed solve delivered.
+	events  int64
+	latency time.Duration
+}
+
+// postOpts selects per-request wire behavior for one pass of the run.
+type postOpts struct {
+	// stream issues the solve with "Accept: text/event-stream" through the
+	// typed streaming client (single solves only; batches stay buffered).
+	stream bool
+	// hedge, when non-empty, is sent as the X-Resilient-Hedge header —
+	// api.HedgeOff opts the request out of router hedging (the unhedged
+	// baseline pass).
+	hedge string
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -261,6 +310,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		isRouter  = fs.Bool("router", false, "target is a resrouter: require and report its /routerz")
 		chaosMode = fs.Bool("chaos", false, "the target router runs a fault-injection plan (-chaos-plan): require its /routerz chaos section, and -check additionally requires every injected bit flip to be detected and zero corrupt responses at this client")
 		shardsCSV = fs.String("shards", "", "comma-separated direct shard base URLs: re-issue each cell directly and cross-check residual hashes against the routed run")
+		streamOn  = fs.Bool("stream", false, "issue every solve as a streamed (SSE) request and cross-check each terminal hash against a buffered solve")
+		hedgeOn   = fs.Bool("hedge", false, "A/B the router's hedged reads: a discarded warmup, an unhedged pass, then a hedged pass over the same mix, with per-pass latency summaries (requires -router)")
 		recordTo  = fs.String("record", "", "write the request mix and observed hashes as a replayable campaign file")
 		replayOf  = fs.String("replay", "", "drive the mix from a recorded campaign file instead of the flag axes")
 	)
@@ -269,6 +320,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *chaosMode && !*isRouter {
 		return fmt.Errorf("-chaos requires -router (the chaos counters live in the router's /routerz)")
+	}
+	if *hedgeOn && !*isRouter {
+		return fmt.Errorf("-hedge requires -router (hedging is a router behavior)")
+	}
+	if *hedgeOn && *streamOn {
+		return fmt.Errorf("-hedge and -stream are mutually exclusive (streams pass through unhedged by design)")
+	}
+	if *streamOn && *batchK > 1 {
+		return fmt.Errorf("-stream drives /v1/solve only; it cannot be combined with -batch > 1")
 	}
 	explicit := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -309,8 +369,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			*n, len(mix), *c, *addr)
 	}
 
-	outcomes, wall := fire(*addr, mix, *n, *c, *timeoutMS)
+	var outcomes []outcome
+	var wall time.Duration
+	var hedgeChk *HedgeCheck
+	if *hedgeOn {
+		// Warmup (discarded): one solve per cell, unhedged, so neither
+		// measured pass pays the cache-cold compute cost and the shards'
+		// latency windows start filling before anything is timed.
+		fire(*addr, mix, len(mix), min(*c, len(mix)), *timeoutMS, postOpts{hedge: api.HedgeOff})
+		outA, wallA := fire(*addr, mix, *n, *c, *timeoutMS, postOpts{hedge: api.HedgeOff})
+		outB, wallB := fire(*addr, mix, *n, *c, *timeoutMS, postOpts{})
+		hedgeChk = &HedgeCheck{
+			Unhedged: summarize(latenciesOf(outA)),
+			Hedged:   summarize(latenciesOf(outB)),
+		}
+		// Both passes aggregate into one record: the per-cell determinism
+		// gate then spans hedged and unhedged serving of the same cells.
+		outcomes = append(outA, outB...)
+		wall = wallA + wallB
+	} else {
+		outcomes, wall = fire(*addr, mix, *n, *c, *timeoutMS, postOpts{stream: *streamOn})
+	}
 	rec := aggregate(*addr, *c, mix, outcomes, wall)
+	rec.Hedge = hedgeChk
 	rec.Replay = replay
 	if replay != nil {
 		for _, cl := range rec.Mix {
@@ -320,6 +401,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 				replay.Mismatches++
 			}
 		}
+	}
+	if *streamOn {
+		rec.Stream = streamCheck(*addr, mix, rec.Mix, outcomes, *timeoutMS)
 	}
 	if *shardsCSV != "" {
 		rec.Direct = directCheck(splitList(*shardsCSV), mix, rec.Mix, *timeoutMS)
@@ -391,6 +475,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case rec.Batch != nil && (rec.Batch.Mismatches > 0 || rec.Batch.Errors > 0):
 			return fmt.Errorf("check failed: batched-vs-single cross-check: %d mismatches, %d errors over %d checks",
 				rec.Batch.Mismatches, rec.Batch.Errors, rec.Batch.Checks)
+		case rec.Stream != nil && (rec.Stream.Checks == 0 || rec.Stream.Mismatches > 0 || rec.Stream.Errors > 0):
+			return fmt.Errorf("check failed: streamed-vs-buffered cross-check: %d mismatches, %d errors over %d checks",
+				rec.Stream.Mismatches, rec.Stream.Errors, rec.Stream.Checks)
+		}
+		if rec.Hedge != nil {
+			switch {
+			case rec.Hedge.Hedged.P99Ms >= rec.Hedge.Unhedged.P99Ms:
+				return fmt.Errorf("check failed: hedging did not improve tail latency (hedged p99 %.2fms, unhedged p99 %.2fms)",
+					rec.Hedge.Hedged.P99Ms, rec.Hedge.Unhedged.P99Ms)
+			case rec.Router == nil || rec.Router.Hedge == nil:
+				return fmt.Errorf("check failed: -hedge given but the router reports no hedge counters")
+			case rec.Router.Hedge.Armed == 0:
+				return fmt.Errorf("check failed: the router never armed a hedge (is it running -hedge?)")
+			case rec.Router.Hedge.Wins == 0:
+				return fmt.Errorf("check failed: the router armed %d hedges but none won a race — the comparison is vacuous",
+					rec.Router.Hedge.Armed)
+			}
 		}
 		// Router counters (failovers, unroutable) are cumulative over the
 		// router's lifetime, not this run's, so they are reported but
@@ -506,7 +607,7 @@ func directCheck(shards []string, mix []cell, cells []MixCell, timeoutMS int) *D
 			continue
 		}
 		dc.Checks++
-		out := post(client, shards[i%len(shards)], i, &mix[i])
+		out := post(client, shards[i%len(shards)], i, &mix[i], postOpts{})
 		switch {
 		case out.transport || out.status != http.StatusOK || out.solveErr:
 			dc.Errors++
@@ -542,7 +643,7 @@ func batchCheck(addr string, mix []cell, cells []MixCell, timeoutMS int) *BatchC
 			single := cell{req: m.req}
 			single.req.Seed = rh.Seed
 			single.req.RHSSeed = rh.RHSSeed
-			out := post(client, addr, i, &single)
+			out := post(client, addr, i, &single, postOpts{})
 			switch {
 			case out.transport || out.status != http.StatusOK || out.solveErr:
 				bc.Errors++
@@ -572,6 +673,7 @@ func fetchRouterz(addr string) (*RouterSummary, error) {
 		DistinctKeys:  rz.Keys.Distinct,
 		Integrity:     rz.Integrity,
 		Chaos:         rz.Chaos,
+		Hedge:         &rz.Hedge,
 	}, nil
 }
 
@@ -649,7 +751,7 @@ func splitList(s string) []string {
 // client carries a hard timeout above any server-side deadline, so a
 // wedged server surfaces as transport errors instead of hanging the run
 // (and the CI gate) forever.
-func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duration) {
+func fire(addr string, mix []cell, n, c, timeoutMS int, opts postOpts) ([]outcome, time.Duration) {
 	clientTimeout := 2 * time.Minute
 	if timeoutMS > 0 {
 		clientTimeout = time.Duration(timeoutMS)*time.Millisecond + 30*time.Second
@@ -664,7 +766,7 @@ func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duratio
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				outcomes[j] = post(client, addr, j%len(mix), &mix[j%len(mix)])
+				outcomes[j] = post(client, addr, j%len(mix), &mix[j%len(mix)], opts)
 			}
 		}()
 	}
@@ -680,7 +782,10 @@ func fire(addr string, mix []cell, n, c, timeoutMS int) ([]outcome, time.Duratio
 // cell carries per-RHS seeds. A batched outcome's hash is the per-RHS
 // hashes joined with "+" in RHS order, so the per-cell determinism and
 // replay machinery gate every right-hand side at once.
-func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
+func post(client *http.Client, addr string, cellIdx int, cl *cell, opts postOpts) outcome {
+	if opts.stream && len(cl.rhs) == 0 {
+		return postStream(client, addr, cellIdx, cl)
+	}
 	out := outcome{cell: cellIdx}
 	path := "/v1/solve"
 	var payload any = &cl.req
@@ -693,8 +798,17 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 		out.transport = true
 		return out
 	}
+	hreq, err := http.NewRequest(http.MethodPost, addr+path, bytes.NewReader(body))
+	if err != nil {
+		out.transport = true
+		return out
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if opts.hedge != "" {
+		hreq.Header.Set(api.HedgeHeader, opts.hedge)
+	}
 	start := time.Now()
-	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(hreq)
 	out.latency = time.Since(start)
 	if err != nil {
 		out.transport = true
@@ -750,6 +864,78 @@ func post(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
 	out.cacheHit = sr.CacheHit
 	out.solveErr = sr.SolveError != ""
 	return out
+}
+
+// postStream issues one cell as a streamed solve through the typed
+// client: every frame is digest-verified as it arrives, the terminal
+// frame is re-verified against the stream trailer, and the decoded
+// result lands in the same outcome shape a buffered post produces.
+func postStream(client *http.Client, addr string, cellIdx int, cl *cell) outcome {
+	out := outcome{cell: cellIdx}
+	ac := api.NewClient(addr, api.WithHTTPClient(client))
+	start := time.Now()
+	resp, err := ac.SolveStream(context.Background(), &cl.req, func(ev *api.SolveEvent) error {
+		out.events++
+		return nil
+	})
+	out.latency = time.Since(start)
+	if err != nil {
+		var ae *api.Error
+		if errors.As(err, &ae) {
+			// A typed refusal (plain envelope before the stream, or a
+			// terminal error frame): classify by its code like any other.
+			out.code = ae.Code
+			out.status = http.StatusServiceUnavailable
+			return out
+		}
+		out.transport = true
+		return out
+	}
+	out.status = http.StatusOK
+	out.hash = resp.Result.ResidualHash
+	out.cacheHit = resp.CacheHit
+	out.solveErr = resp.SolveError != ""
+	return out
+}
+
+// streamCheck re-issues one buffered request per deterministic cell and
+// compares its hash against the streamed terminal hash: the gate that a
+// streamed solve answers exactly what a buffered one would, bit for
+// bit. Requests and Events aggregate the streamed pass itself.
+func streamCheck(addr string, mix []cell, cells []MixCell, outcomes []outcome, timeoutMS int) *StreamCheck {
+	sc := &StreamCheck{}
+	for _, o := range outcomes {
+		sc.Requests++
+		sc.Events += o.events
+	}
+	clientTimeout := 2 * time.Minute
+	if timeoutMS > 0 {
+		clientTimeout = time.Duration(timeoutMS)*time.Millisecond + 30*time.Second
+	}
+	client := &http.Client{Timeout: clientTimeout}
+	for i := range mix {
+		if cells[i].OK == 0 || cells[i].DistinctHashes != 1 {
+			continue
+		}
+		sc.Checks++
+		out := post(client, addr, i, &mix[i], postOpts{})
+		switch {
+		case out.transport || out.status != http.StatusOK || out.solveErr:
+			sc.Errors++
+		case out.hash != cells[i].ResidualHash:
+			sc.Mismatches++
+		}
+	}
+	return sc
+}
+
+// latenciesOf extracts one pass's round-trip times in milliseconds.
+func latenciesOf(outcomes []outcome) []float64 {
+	ms := make([]float64, 0, len(outcomes))
+	for _, o := range outcomes {
+		ms = append(ms, float64(o.latency)/1e6)
+	}
+	return ms
 }
 
 func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Duration) Record {
@@ -820,45 +1006,18 @@ func aggregate(addr string, c int, mix []cell, outcomes []outcome, wall time.Dur
 	return rec
 }
 
-func summarize(ms []float64) LatencySummary {
-	if len(ms) == 0 {
-		return LatencySummary{}
-	}
-	sort.Float64s(ms)
-	var sum float64
-	for _, v := range ms {
-		sum += v
-	}
-	// Nearest-rank percentile: the q-quantile of n sorted samples is the
-	// ⌈q·n⌉-th (1-based). The previous rounding form int(q·n+0.5)−1
-	// rounded the rank instead of taking its ceiling, reading one sample
-	// too low whenever frac(q·n) ∈ (0, 0.5) — e.g. p90 of 26 samples has
-	// rank ⌈23.4⌉ = 24 but rounded to 23, under-reporting tail latency.
-	pct := func(q float64) float64 {
-		idx := int(math.Ceil(q*float64(len(ms)))) - 1
-		if idx < 0 {
-			idx = 0
-		}
-		if idx >= len(ms) {
-			idx = len(ms) - 1
-		}
-		return ms[idx]
-	}
-	return LatencySummary{
-		MeanMs: sum / float64(len(ms)),
-		P50Ms:  pct(0.50),
-		P90Ms:  pct(0.90),
-		P99Ms:  pct(0.99),
-		MaxMs:  ms[len(ms)-1],
-	}
+// summarize is the shared estimator from internal/api (nearest-rank
+// percentiles; see api.NearestRank for the rank-vs-rounding rationale).
+func summarize(ms []float64) api.LatencySummary {
+	return api.SummarizeLatencies(ms)
 }
 
 func writeSummary(w io.Writer, rec Record) error {
 	if _, err := fmt.Fprintf(w,
-		"requests=%d ok=%d rejected=%d expired=%d errors=%d cache_hits=%d\nthroughput=%.1f req/s  latency p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+		"requests=%d ok=%d rejected=%d expired=%d errors=%d cache_hits=%d\nthroughput=%.1f req/s  latency p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms max=%.2fms\n",
 		rec.Requests, rec.OK, rec.Rejected, rec.Expired,
 		rec.SolveErrors+rec.TransportErrors+rec.OtherErrors, rec.CacheHits,
-		rec.Throughput, rec.Latency.P50Ms, rec.Latency.P90Ms, rec.Latency.P99Ms, rec.Latency.MaxMs); err != nil {
+		rec.Throughput, rec.Latency.P50Ms, rec.Latency.P90Ms, rec.Latency.P99Ms, rec.Latency.P999Ms, rec.Latency.MaxMs); err != nil {
 		return err
 	}
 	if len(rec.ErrorCodes) > 0 {
@@ -903,6 +1062,19 @@ func writeSummary(w io.Writer, rec Record) error {
 			return err
 		}
 	}
+	if rec.Stream != nil {
+		if _, err := fmt.Fprintf(w, "stream requests=%d events=%d checks=%d mismatches=%d errors=%d\n",
+			rec.Stream.Requests, rec.Stream.Events, rec.Stream.Checks, rec.Stream.Mismatches, rec.Stream.Errors); err != nil {
+			return err
+		}
+	}
+	if rec.Hedge != nil {
+		if _, err := fmt.Fprintf(w, "hedge A/B unhedged p50=%.2fms p99=%.2fms p99.9=%.2fms | hedged p50=%.2fms p99=%.2fms p99.9=%.2fms\n",
+			rec.Hedge.Unhedged.P50Ms, rec.Hedge.Unhedged.P99Ms, rec.Hedge.Unhedged.P999Ms,
+			rec.Hedge.Hedged.P50Ms, rec.Hedge.Hedged.P99Ms, rec.Hedge.Hedged.P999Ms); err != nil {
+			return err
+		}
+	}
 	if rec.DigestMismatches > 0 {
 		if _, err := fmt.Fprintf(w, "DIGEST MISMATCHES: %d corrupt responses reached this client\n", rec.DigestMismatches); err != nil {
 			return err
@@ -918,6 +1090,12 @@ func writeSummary(w io.Writer, rec Record) error {
 		if _, err := fmt.Fprintf(w, "integrity digest_verified=%d corrupt_responses=%d retries_spent=%d budget_exhausted=%d\n",
 			in.DigestVerified, in.CorruptResponses, in.RetriesSpent, in.BudgetExhausted); err != nil {
 			return err
+		}
+		if hs := rec.Router.Hedge; hs != nil && hs.Enabled {
+			if _, err := fmt.Fprintf(w, "router hedge armed=%d wins=%d primary_wins=%d losers_canceled=%d streamed_passthrough=%d\n",
+				hs.Armed, hs.Wins, hs.PrimaryWins, hs.LosersCanceled, hs.StreamedPassthrough); err != nil {
+				return err
+			}
 		}
 		if ch := rec.Router.Chaos; ch != nil {
 			if _, err := fmt.Fprintf(w, "chaos seed=%d requests=%d resets=%d storms_503=%d kills=%d truncations=%d bit_flips=%d latency_spikes=%d trace=%s\n",

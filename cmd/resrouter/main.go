@@ -79,6 +79,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		retryBudget   = fs.Int("retry-budget", 4, "per-request attempt ceiling across ring candidates (first try included)")
 		retryBackoff  = fs.Duration("retry-backoff", 25*time.Millisecond, "base delay before the second attempt (doubles per attempt, ±50% jitter; a shard retry_after_ms hint overrides when longer)")
 		chaosPlan     = fs.String("chaos-plan", "", "seeded fault-injection plan (JSON) applied to shard-bound solve traffic; /routerz grows a chaos section")
+		hedge         = fs.Bool("hedge", false, "hedge idempotent solves: arm a duplicate on the next ring replica after a tail-latency delay, first verified answer wins")
+		hedgeDelay    = fs.Duration("hedge-delay", 30*time.Millisecond, "hedge arm delay until a shard has a P99 estimate of its own")
+		hedgeMax      = fs.Duration("hedge-max-delay", 2*time.Second, "cap on the P99-derived hedge arm delay")
 		quiet         = fs.Bool("q", false, "suppress startup, reload and drain logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -144,6 +147,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		RetryBackoff:   *retryBackoff,
 		AdminToken:     *adminToken,
 		Runtime:        runtime,
+		HedgeEnabled:   *hedge,
+		HedgeDelay:     *hedgeDelay,
+		HedgeMaxDelay:  *hedgeMax,
+	}
+	if *hedge {
+		logf("HEDGE: tail-latency hedging on (base delay %v, cap %v)", *hedgeDelay, *hedgeMax)
 	}
 	if *chaosPlan != "" {
 		plan, err := chaos.LoadPlan(*chaosPlan)

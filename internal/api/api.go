@@ -273,6 +273,23 @@ type HealthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
+// Tier names for StatuszResponse.Tier.
+const (
+	TierRouter = "router"
+	TierShard  = "shard"
+)
+
+// StatuszResponse is the body of GET /v1/statusz, the introspection
+// surface both tiers serve under one path: Tier says which one answered,
+// and exactly one of Router and Shard carries its typed status. The
+// historical per-tier paths (/routerz, /v1/stats) stay as aliases.
+type StatuszResponse struct {
+	Schema int              `json:"schema"`
+	Tier   string           `json:"tier"`
+	Router *RouterzResponse `json:"router,omitempty"`
+	Shard  *StatsResponse   `json:"shard,omitempty"`
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	Schema        int        `json:"schema"`

@@ -69,6 +69,109 @@ func (c *Client) Solve(ctx context.Context, req *SolveRequest) (*SolveResponse, 
 	return &out, nil
 }
 
+// SolveStream posts one solve request with "Accept: text/event-stream"
+// and delivers every decoded progress event to onEvent (nil skips
+// delivery); the terminal result event is returned like a buffered
+// Solve. A terminal error event comes back as *Error, exactly as a
+// buffered non-200 would. onEvent returning an error aborts the stream
+// (cancelling the solve's delivery, not the solve). Servers that do not
+// stream (or a non-flushing hop) answer plain JSON; SolveStream falls
+// back to decoding that buffered body, so callers never need to probe
+// capability first.
+func (c *Client) SolveStream(ctx context.Context, req *SolveRequest, onEvent func(*SolveEvent) error) (*SolveResponse, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// Buffered answer (old server, non-streaming hop, or an error
+		// envelope rejected before streaming began): decode it the
+		// buffered way, digest check included.
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if err != nil {
+			return nil, fmt.Errorf("POST /v1/solve: reading response: %w", err)
+		}
+		if !VerifyDigest(resp.Header.Get(DigestHeader), body) {
+			return nil, fmt.Errorf("POST /v1/solve: response digest mismatch (corrupt body)")
+		}
+		if resp.StatusCode != http.StatusOK {
+			var e Error
+			if json.Unmarshal(body, &e) != nil || e.Message == "" {
+				e = Error{
+					Schema:  SchemaVersion,
+					Code:    CodeForStatus(resp.StatusCode),
+					Message: fmt.Sprintf("POST /v1/solve: %s: %s", resp.Status, bytes.TrimSpace(body)),
+				}
+			}
+			return nil, &e
+		}
+		var out SolveResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			return nil, fmt.Errorf("POST /v1/solve: decoding response: %w", err)
+		}
+		return &out, nil
+	}
+
+	rd := NewSSEReader(resp.Body)
+	var terminal *SolveEvent
+	var terminalData []byte
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("POST /v1/solve: %w", err)
+		}
+		if onEvent != nil {
+			if err := onEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+		if ev.Terminal() {
+			terminal = ev
+			terminalData = append([]byte(nil), rd.LastFrameData()...)
+			// Drain to EOF so the trailer becomes visible.
+			for {
+				if _, err := rd.Next(); err != nil {
+					break
+				}
+			}
+			break
+		}
+	}
+	if terminal == nil {
+		return nil, fmt.Errorf("POST /v1/solve: stream ended without a terminal event")
+	}
+	// The trailer repeats the terminal frame's digest; verify it against
+	// the exact wire bytes when the transport delivered one (an absent
+	// trailer verifies trivially, like an absent header).
+	if !VerifyDigest(resp.Trailer.Get(DigestHeader), terminalData) {
+		return nil, fmt.Errorf("POST /v1/solve: stream trailer digest mismatch (corrupt terminal frame)")
+	}
+	if terminal.Kind == EventError {
+		if terminal.Error != nil {
+			return nil, terminal.Error
+		}
+		return nil, fmt.Errorf("POST /v1/solve: stream ended with an empty error event")
+	}
+	if terminal.Result == nil {
+		return nil, fmt.Errorf("POST /v1/solve: stream result event carries no result")
+	}
+	return terminal.Result, nil
+}
+
 // SolveBatch posts one batched multi-RHS solve request.
 func (c *Client) SolveBatch(ctx context.Context, req *BatchSolveRequest) (*BatchSolveResponse, error) {
 	var out BatchSolveResponse
@@ -110,6 +213,16 @@ func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 func (c *Client) Routerz(ctx context.Context) (*RouterzResponse, error) {
 	var out RouterzResponse
 	if err := c.do(ctx, http.MethodGet, "/routerz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Statusz fetches /v1/statusz, the unified introspection surface both
+// tiers serve: Tier says who answered.
+func (c *Client) Statusz(ctx context.Context) (*StatuszResponse, error) {
+	var out StatuszResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/statusz", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

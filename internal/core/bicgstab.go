@@ -39,6 +39,8 @@ type BiCGstabConfig struct {
 	// the iteration count and the current BiCG recurrence scalar ρ. The
 	// harness uses it to fingerprint the iterate trajectory.
 	OnIteration func(it int, rho float64)
+	// OnDetection, as in Config: called per fault-detection episode.
+	OnDetection func(DetectionEvent)
 	// Ws, as in Config: a reusable arena making repeated solves
 	// allocation-free in steady state.
 	Ws *Workspace
@@ -185,6 +187,7 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 
 	maxTotal := int64(base.MaxIters)*10 + 1000
 	finalRetries := 0
+	emit := detectionEmitter(cfg.OnDetection, st)
 
 	for {
 		if vec.Norm2(r) <= base.Tol*normB {
@@ -236,6 +239,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			}
 		}
 		if bad {
+			if emit != nil {
+				emit(run.it, true)
+			}
 			run.rollback()
 			continue
 		}
@@ -243,6 +249,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		rhoNew := run.exec.Dot(rHat, r)
 		if rhoNew == 0 || math.IsNaN(rhoNew) || math.IsInf(rhoNew, 0) {
 			st.Detections++
+			if emit != nil {
+				emit(run.it, true)
+			}
 			run.rollback()
 			continue
 		}
@@ -268,6 +277,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		if outV.Detected {
 			st.Detections++
 			if !outV.Corrected {
+				if emit != nil {
+					emit(run.it, true)
+				}
 				run.rollback()
 				continue
 			}
@@ -281,6 +293,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		den := run.exec.Dot(rHat, v)
 		if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
 			st.Detections++
+			if emit != nil {
+				emit(run.it, true)
+			}
 			run.rollback()
 			continue
 		}
@@ -298,6 +313,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 			if cfg.OnIteration != nil {
 				cfg.OnIteration(run.it, run.rho)
 			}
+			if emit != nil {
+				emit(run.it, false)
+			}
 			continue // the top-of-loop confirmation validates it
 		}
 
@@ -307,6 +325,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		if outT.Detected {
 			st.Detections++
 			if !outT.Corrected {
+				if emit != nil {
+					emit(run.it, true)
+				}
 				run.rollback()
 				continue
 			}
@@ -320,12 +341,18 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		tt := run.exec.Norm2Sq(tv)
 		if tt == 0 || math.IsNaN(tt) || math.IsInf(tt, 0) {
 			st.Detections++
+			if emit != nil {
+				emit(run.it, true)
+			}
 			run.rollback()
 			continue
 		}
 		run.omega = run.exec.Dot(tv, sv) / tt
 		if run.omega == 0 || math.IsNaN(run.omega) || math.IsInf(run.omega, 0) {
 			st.Detections++
+			if emit != nil {
+				emit(run.it, true)
+			}
 			run.rollback()
 			continue
 		}
@@ -339,6 +366,9 @@ func SolveBiCGstab(a *sparse.CSR, b []float64, cfg BiCGstabConfig) ([]float64, S
 		run.it++
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(run.it, run.rho)
+		}
+		if emit != nil {
+			emit(run.it, false)
 		}
 		if run.it > run.highWater {
 			run.highWater = run.it

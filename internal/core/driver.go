@@ -155,6 +155,7 @@ func (rs *runState) loop() error {
 	st := &rs.stats
 	maxTotal := int64(cfg.MaxIters)*10 + 1000
 	finalRetries := 0
+	emit := detectionEmitter(cfg.OnDetection, st)
 
 	for {
 		// Convergence test on the recurrence residual, confirmed against a
@@ -197,6 +198,9 @@ func (rs *runState) loop() error {
 
 		ok := rs.iterate(deferredQ)
 		if !ok {
+			if emit != nil {
+				emit(rs.it, true)
+			}
 			rs.rollback()
 			continue
 		}
@@ -204,6 +208,9 @@ func (rs *runState) loop() error {
 		rs.it++
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(rs.it, rs.rho)
+		}
+		if emit != nil {
+			emit(rs.it, false)
 		}
 		if rs.it > rs.highWater {
 			rs.highWater = rs.it
@@ -214,6 +221,9 @@ func (rs *runState) loop() error {
 				st.TimeVerif += rs.costs.Tverif
 				if !rs.onlineVerify() {
 					st.Detections++
+					if emit != nil {
+						emit(rs.it, true)
+					}
 					rs.rollback()
 					continue
 				}

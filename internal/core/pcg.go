@@ -41,6 +41,7 @@ type PCGConfig struct {
 	Trace       func(format string, args ...any)
 	Pool        *pool.Pool
 	OnIteration func(it int, rho float64)
+	OnDetection func(DetectionEvent)
 	Ws          *Workspace
 }
 
@@ -59,6 +60,7 @@ func SolvePCG(a *sparse.CSR, b []float64, cfg PCGConfig) ([]float64, Stats, erro
 		Scheme: cfg.Scheme, S: cfg.S, D: cfg.D, Tol: cfg.Tol,
 		MaxIters: cfg.MaxIters, Injector: cfg.Injector, Costs: cfg.Costs,
 		Trace: cfg.Trace, Pool: cfg.Pool, OnIteration: cfg.OnIteration,
+		OnDetection: cfg.OnDetection,
 	}
 	base = base.withDefaults(n)
 	ws := cfg.Ws.begin()
@@ -210,6 +212,7 @@ func (p *pcgRun) loop() error {
 	st := &p.stats
 	maxTotal := int64(cfg.MaxIters)*10 + 1000
 	finalRetries := 0
+	emit := detectionEmitter(cfg.OnDetection, st)
 
 	for {
 		// Convergence on ‖r‖ (not the preconditioned ρ = rᵀz), matching the
@@ -244,6 +247,9 @@ func (p *pcgRun) loop() error {
 			_, deferred = cfg.Injector.InjectIterationSplit(p.state)
 		}
 		if !p.iterate(deferred) {
+			if emit != nil {
+				emit(p.it, true)
+			}
 			p.rollback()
 			continue
 		}
@@ -251,6 +257,9 @@ func (p *pcgRun) loop() error {
 		p.it++
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(p.it, p.rho)
+		}
+		if emit != nil {
+			emit(p.it, false)
 		}
 		if p.it > p.highWater {
 			p.highWater = p.it
@@ -261,6 +270,9 @@ func (p *pcgRun) loop() error {
 				st.TimeVerif += p.costs.Tverif
 				if !p.onlineVerify() {
 					st.Detections++
+					if emit != nil {
+						emit(p.it, true)
+					}
 					p.rollback()
 					continue
 				}

@@ -76,6 +76,11 @@ type Config struct {
 	// CG, rᵀz for PCG). Tests use it to compare residual histories across
 	// execution modes.
 	OnIteration func(it int, rho float64)
+	// OnDetection, when non-nil, is called after every fault-detection
+	// episode with the detection/correction deltas since the previous
+	// episode. Streaming solves surface these as live events; nil costs
+	// nothing on the hot path.
+	OnDetection func(DetectionEvent)
 	// Ws, when non-nil, supplies the working matrix copy, iteration vectors,
 	// checksum encodings and checkpoint stores from a reusable arena: a warm
 	// workspace makes repeated solves allocation-free. The arithmetic is
@@ -97,6 +102,38 @@ func (c Config) withDefaults(n int) Config {
 		c.Costs = DefaultCostParams()
 	}
 	return c
+}
+
+// DetectionEvent is one fault-detection episode, reported through
+// Config.OnDetection: the counter deltas since the previous episode and
+// whether the solver recovered by rolling back to a checkpoint (false
+// means it corrected forward).
+type DetectionEvent struct {
+	// Iteration is the useful-iteration count when the episode surfaced.
+	Iteration int
+	// Detections and Corrections are deltas since the last event.
+	Detections  int64
+	Corrections int64
+	// RolledBack reports checkpoint recovery (vs. forward correction).
+	RolledBack bool
+}
+
+// detectionEmitter adapts an OnDetection hook into a per-episode closure
+// over the live Stats counters. A nil hook returns a nil func — callers
+// guard on that, so the fault-free hot path allocates nothing.
+func detectionEmitter(hook func(DetectionEvent), st *Stats) func(it int, rolledBack bool) {
+	if hook == nil {
+		return nil
+	}
+	var lastD, lastC int64
+	return func(it int, rolledBack bool) {
+		d, c := st.Detections-lastD, st.Corrections-lastC
+		if d == 0 && c == 0 {
+			return
+		}
+		lastD, lastC = st.Detections, st.Corrections
+		hook(DetectionEvent{Iteration: it, Detections: d, Corrections: c, RolledBack: rolledBack})
+	}
 }
 
 // Stats reports everything the experiments need about one resilient solve.

@@ -208,6 +208,10 @@ type SolveOpts struct {
 	// OnIteration, when non-nil, receives the per-iteration recurrence
 	// scalar (used to fingerprint trajectories).
 	OnIteration func(it int, rho float64)
+	// OnDetection, when non-nil, receives one event per fault-detection
+	// episode (streaming solves surface these live). The unprotected
+	// scheme has no detection machinery and never calls it.
+	OnDetection func(core.DetectionEvent)
 }
 
 // SolveWith is the single-trial solve primitive behind SolveOne and the
@@ -246,19 +250,19 @@ func SolveWith(a *sparse.CSR, b []float64, sc Scenario, seed int64, opt SolveOpt
 		return core.SolvePCG(a, b, core.PCGConfig{
 			Scheme: scheme, M: m, S: sc.S, D: sc.D, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
-			Ws: coreWs,
+			OnDetection: opt.OnDetection, Ws: coreWs,
 		})
 	case "bicgstab":
 		return core.SolveBiCGstab(a, b, core.BiCGstabConfig{
 			Scheme: scheme, S: sc.S, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
-			Ws: coreWs,
+			OnDetection: opt.OnDetection, Ws: coreWs,
 		})
 	default: // cg
 		return core.Solve(a, b, core.Config{
 			Scheme: scheme, S: sc.S, D: sc.D, Tol: sc.Tol,
 			MaxIters: sc.MaxIters, Injector: inj, Pool: opt.Pool, OnIteration: opt.OnIteration,
-			Ws: coreWs,
+			OnDetection: opt.OnDetection, Ws: coreWs,
 		})
 	}
 }

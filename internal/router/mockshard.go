@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/api"
 )
@@ -27,6 +28,12 @@ type MockShard struct {
 
 	healthy atomic.Bool
 	solves  atomic.Int64
+	// delayNanos stalls every solve answer — the knob hedge tests turn to
+	// make this shard the slow replica.
+	delayNanos atomic.Int64
+	// killMidStream makes a streamed solve emit one iteration frame, flush
+	// it, then hard-kill the shard — the mid-stream death scenario.
+	killMidStream atomic.Bool
 
 	closeOnce sync.Once
 }
@@ -65,6 +72,14 @@ func (m *MockShard) Solves() int64 { return m.solves.Load() }
 // router's ejection and re-admission paths.
 func (m *MockShard) SetHealthy(ok bool) { m.healthy.Store(ok) }
 
+// SetDelay stalls every subsequent solve answer by d, making this shard
+// the slow replica in a hedge race.
+func (m *MockShard) SetDelay(d time.Duration) { m.delayNanos.Store(int64(d)) }
+
+// KillMidStream arms the mid-stream death mode: the next streamed solve
+// sends one iteration frame and then the shard dies.
+func (m *MockShard) KillMidStream() { m.killMidStream.Store(true) }
+
 // Kill hard-closes the listener — from the router's side the shard
 // vanishes mid-flight, like a kill -9.
 func (m *MockShard) Kill() {
@@ -97,16 +112,47 @@ func (m *MockShard) handleSolve(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	m.solves.Add(1)
+	if d := time.Duration(m.delayNanos.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return // canceled hedge loser: give the connection back
+		}
+	}
 	canon, _ := json.Marshal(body)
 	h := fnv.New64a()
 	h.Write(canon)
-	w.Header().Set("X-Mock-Shard", m.name)
 	resp := api.SolveResponse{Schema: api.SchemaVersion}
 	resp.Result.Schema = api.SchemaVersion
 	resp.Result.Reps = 1
 	resp.Result.Converged = 1
 	resp.Result.ResidualHash = fmt.Sprintf("mock-%016x", h.Sum64())
+	if req.URL.Path == "/v1/solve" && wantsStream(req) {
+		m.streamSolve(w, &resp)
+		return
+	}
+	w.Header().Set("X-Mock-Shard", m.name)
 	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// streamSolve answers a streamed solve: one iteration frame, then the
+// terminal result — the same ResidualHash the buffered path computes,
+// so pass-through tests can assert stream/buffered hash equality. In
+// killMidStream mode the shard dies right after the first frame.
+func (m *MockShard) streamSolve(w http.ResponseWriter, resp *api.SolveResponse) {
+	sw, err := api.NewSSEWriter(w)
+	if err != nil {
+		api.WriteJSON(w, http.StatusOK, resp)
+		return
+	}
+	_ = sw.Send(&api.SolveEvent{Kind: api.EventIteration, Iteration: 1, Rho: 0.5})
+	if m.killMidStream.Load() {
+		m.Kill()
+		// Killing closes the listener and active connections; returning
+		// without a terminal frame is the point.
+		return
+	}
+	_ = sw.Send(&api.SolveEvent{Kind: api.EventResult, Result: resp})
 }
 
 // MockRuntime is a ShardRuntime backed by MockShards: the router's

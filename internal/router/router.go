@@ -96,6 +96,20 @@ type Config struct {
 	// ChaosStats, when set, contributes a fault-injection snapshot to
 	// /routerz (the chaos section is omitted otherwise).
 	ChaosStats func() *api.ChaosStats
+	// HedgeEnabled turns on hedged replica reads: an idempotent solve is
+	// armed on the next ring successor after a tail-latency delay, and the
+	// first digest-verified answer wins (the loser is canceled). Safe
+	// because every solve is deterministic — both replicas compute
+	// bit-identical bytes, so which one answers never changes the result.
+	HedgeEnabled bool
+	// HedgeDelay is the arm delay used until a shard has enough latency
+	// samples for a P99 estimate (default 30ms). Once the per-shard window
+	// fills, the observed P99 replaces it — the hedge then fires only for
+	// requests already slower than 99% of their peers.
+	HedgeDelay time.Duration
+	// HedgeMaxDelay caps the P99-derived arm delay (default 2s): a shard
+	// whose tail blew out still gets hedged within a bounded wait.
+	HedgeMaxDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +139,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 30 * time.Millisecond
+	}
+	if c.HedgeMaxDelay <= 0 {
+		c.HedgeMaxDelay = 2 * time.Second
 	}
 	return c
 }
@@ -195,11 +215,18 @@ type Router struct {
 	unroutable atomic.Int64
 
 	// Integrity counters: every forwarded response is digest- and
-	// schema-verified before relay (see forward).
+	// schema-verified before relay (see fetch).
 	digestVerified   atomic.Int64
 	corruptResponses atomic.Int64
 	retriesSpent     atomic.Int64
 	budgetExhausted  atomic.Int64
+
+	// Hedge counters (the /routerz hedge section).
+	hedgeArmed          atomic.Int64 // secondary requests actually launched
+	hedgeWins           atomic.Int64 // races won by the hedge
+	hedgePrimaryWins    atomic.Int64 // races won by the primary after arming
+	hedgeCanceled       atomic.Int64 // losers canceled while still in flight
+	streamedPassthrough atomic.Int64 // streaming solves relayed unbuffered
 }
 
 // New builds a router over the shard set and starts its health prober.
@@ -239,6 +266,7 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	mux.HandleFunc("/v1/solve", r.handleSolve)
 	mux.HandleFunc("/v1/solve/batch", r.handleSolveBatch)
 	mux.HandleFunc("/routerz", r.handleRouterz)
+	mux.HandleFunc("/v1/statusz", r.handleStatusz)
 	mux.HandleFunc("/v1/healthz", r.handleHealthz)
 	r.mountAdmin(mux)
 	r.mux = mux
@@ -419,6 +447,13 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable, errors.New("router: no shard available"), 0)
 		return
 	}
+	if path == "/v1/solve" && wantsStream(req) {
+		// Streaming is explicitly non-idempotent at the relay layer: frames
+		// go to the client as they arrive, so once the stream starts there
+		// is nothing to retry, hedge or buffer. Dedicated pass-through path.
+		r.streamSolve(w, req, &sreq, id.Key, body, cands)
+		return
+	}
 	budget := r.cfg.RetryBudget
 	if r.cfg.RetryBodyBytes > 0 && int64(len(body)) > r.cfg.RetryBodyBytes {
 		// Too large to hold for a resend: single attempt on the key's
@@ -436,6 +471,16 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	ctx, cancel := context.WithTimeout(req.Context(), timeout)
 	defer cancel()
 
+	// The first attempt may be hedged: when enabled and at least two
+	// routable replicas exist, the request goes to the lowest-EWMA shard
+	// with a second copy armed on the next-best after a tail-derived
+	// delay. A hedged round is still one attempt against the budget —
+	// hedging trades a duplicate request for latency, never extra retries.
+	hedgeP, hedgeS := (*shardState)(nil), (*shardState)(nil)
+	if r.cfg.HedgeEnabled && budget > 1 && req.Header.Get(api.HedgeHeader) != api.HedgeOff {
+		hedgeP, hedgeS = hedgePair(cands)
+	}
+
 	// Attempts cycle the candidate list until one response is relayable
 	// or the per-request budget is spent. The budget bounds every retry
 	// cause at once — connection failures, 5xx refusals and corrupt
@@ -451,11 +496,19 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 				break
 			}
 		}
-		s := cands[attempt%len(cands)]
-		done, hint, err := r.forward(ctx, w, s, path, body, attempt > 0)
-		if done {
+		var rel *relayable
+		var hedgedWin bool
+		var hint time.Duration
+		var err error
+		if attempt == 0 && hedgeP != nil {
+			rel, hedgedWin, hint, err = r.fetchHedged(ctx, hedgeP, hedgeS, path, body)
+		} else {
+			rel, hint, err = r.fetch(ctx, cands[attempt%len(cands)], path, body)
+		}
+		if rel != nil {
+			r.relay(w, rel, attempt > 0, hedgedWin)
 			r.routed.Add(1)
-			r.trackKey(id.Key, s.name)
+			r.trackKey(id.Key, rel.shard.name)
 			return
 		}
 		lastErr = err
@@ -527,23 +580,35 @@ func retryAfterHint(body []byte) time.Duration {
 	return time.Duration(e.RetryAfterMillis) * time.Millisecond
 }
 
-// forward sends the solve to one shard. It returns done=true when a
-// response was relayed to the client; false with the cause means the
-// next replica should be tried: the solve is deterministic and
-// idempotent, so retrying is always safe when the shard could not take
-// the request — a connection failure, a 503 (draining) or a 429 (queue
-// saturated; the replica can absorb the burst) — or when the response
-// failed integrity verification: a stamped digest that does not match
-// the received bytes, or a 200 body without the current schema stamp, is
-// treated exactly like a connection failure (the bytes are corrupt; the
-// next shard computes the identical answer). Responses the shard
-// actually computed and that verify — 200s, validation 4xxs, solver
-// 5xxs — are relayed, not retried. hint carries a shard-supplied
-// retry_after_ms to pace the next attempt.
-func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardState, path string, body []byte, isRetry bool) (done bool, hint time.Duration, err error) {
+// relayable is one fully verified shard answer, buffered and ready to
+// write to the client. Splitting fetch (talk to the shard, verify) from
+// relay (write to the client) is what makes hedging possible: two
+// fetches can race with no client-visible effect until one wins.
+type relayable struct {
+	status  int
+	ctype   string
+	digest  string
+	payload []byte
+	shard   *shardState
+}
+
+// fetch sends the solve to one shard and returns the verified answer.
+// A nil relayable with the cause means the next replica should be
+// tried: the solve is deterministic and idempotent, so retrying is
+// always safe when the shard could not take the request — a connection
+// failure, a 503 (draining) or a 429 (queue saturated; the replica can
+// absorb the burst) — or when the response failed integrity
+// verification: a stamped digest that does not match the received
+// bytes, or a 200 body without the current schema stamp, is treated
+// exactly like a connection failure (the bytes are corrupt; the next
+// shard computes the identical answer). Responses the shard actually
+// computed and that verify — 200s, validation 4xxs, solver 5xxs — are
+// relayable, not retried. hint carries a shard-supplied retry_after_ms
+// to pace the next attempt.
+func (r *Router) fetch(ctx context.Context, s *shardState, path string, body []byte) (rel *relayable, hint time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
-		return false, 0, err
+		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	// GetBody lets seam transports (the chaos injector) fingerprint the
@@ -555,13 +620,13 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 	latency := time.Since(start)
 	s.inflight.Add(-1)
 	if err != nil {
-		// A deadline or client disconnect shows up here as a context
-		// error: that says nothing about the shard's health, so it must
-		// not feed the circuit breaker.
+		// A deadline, client disconnect or canceled hedge loser shows up
+		// here as a context error: that says nothing about the shard's
+		// health, so it must not feed the circuit breaker.
 		if ctx.Err() == nil {
 			s.notePassive(false, err.Error(), r.cfg.FailThreshold)
 		}
-		return false, 0, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	s.routed.Add(1)
@@ -572,13 +637,13 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 		// any backoff the shard asked for.
 		refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		s.notePassive(false, "shard answered 503", r.cfg.FailThreshold)
-		return false, retryAfterHint(refusal), fmt.Errorf("%s: 503 from shard", s.name)
+		return nil, retryAfterHint(refusal), fmt.Errorf("%s: 503 from shard", s.name)
 	case http.StatusTooManyRequests:
 		// Saturated, not sick: spill to the replica without feeding the
 		// circuit breaker. Backpressure reaches the client only when
 		// every candidate refuses.
 		refusal, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
-		return false, retryAfterHint(refusal), fmt.Errorf("%s: %w", s.name, errSaturated)
+		return nil, retryAfterHint(refusal), fmt.Errorf("%s: %w", s.name, errSaturated)
 	}
 	// Buffer the body before relaying: once headers go to the client the
 	// request cannot fail over, so a connection that dies mid-body (the
@@ -586,8 +651,10 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 	// anything was written — and be retried on the next replica.
 	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	if err != nil {
-		s.notePassive(false, err.Error(), r.cfg.FailThreshold)
-		return false, 0, fmt.Errorf("%s: reading shard response: %w", s.name, err)
+		if ctx.Err() == nil {
+			s.notePassive(false, err.Error(), r.cfg.FailThreshold)
+		}
+		return nil, 0, fmt.Errorf("%s: reading shard response: %w", s.name, err)
 	}
 	// End-to-end integrity: recompute the stamped content digest over the
 	// exact received bytes, and require the current schema stamp inside
@@ -597,7 +664,7 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 	if !api.VerifyDigest(digest, payload) {
 		r.corruptResponses.Add(1)
 		s.notePassive(false, "response digest mismatch", r.cfg.FailThreshold)
-		return false, 0, fmt.Errorf("%s: response digest mismatch (corrupt body)", s.name)
+		return nil, 0, fmt.Errorf("%s: response digest mismatch (corrupt body)", s.name)
 	}
 	if resp.StatusCode == http.StatusOK {
 		var stamp struct {
@@ -606,29 +673,43 @@ func (r *Router) forward(ctx context.Context, w http.ResponseWriter, s *shardSta
 		if json.Unmarshal(payload, &stamp) != nil || stamp.Schema != api.SchemaVersion {
 			r.corruptResponses.Add(1)
 			s.notePassive(false, "response schema violation", r.cfg.FailThreshold)
-			return false, 0, fmt.Errorf("%s: response schema violation (corrupt body)", s.name)
+			return nil, 0, fmt.Errorf("%s: response schema violation (corrupt body)", s.name)
 		}
 	}
 	if digest != "" {
 		r.digestVerified.Add(1)
 	}
 	s.notePassive(resp.StatusCode < 500, "shard answered "+resp.Status, r.cfg.FailThreshold)
+	return &relayable{
+		status:  resp.StatusCode,
+		ctype:   resp.Header.Get("Content-Type"),
+		digest:  digest,
+		payload: payload,
+		shard:   s,
+	}, 0, nil
+}
 
+// relay writes one verified shard answer to the client, with the
+// provenance headers: which shard served it, whether it took a
+// failover, and whether the hedge won the race.
+func (r *Router) relay(w http.ResponseWriter, rel *relayable, isRetry, hedged bool) {
 	h := w.Header()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		h.Set("Content-Type", ct)
+	if rel.ctype != "" {
+		h.Set("Content-Type", rel.ctype)
 	}
-	if digest != "" {
+	if rel.digest != "" {
 		// Relay the verified digest so the client can check the final hop.
-		h.Set(api.DigestHeader, digest)
+		h.Set(api.DigestHeader, rel.digest)
 	}
-	h.Set("X-Resilient-Shard", s.name)
+	h.Set("X-Resilient-Shard", rel.shard.name)
 	if isRetry {
 		h.Set("X-Resilient-Failover", "true")
 	}
-	w.WriteHeader(resp.StatusCode)
-	w.Write(payload)
-	return true, 0, nil
+	if hedged {
+		h.Set(api.HedgedHeader, "1")
+	}
+	w.WriteHeader(rel.status)
+	w.Write(rel.payload)
 }
 
 func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
@@ -636,6 +717,29 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, errors.New("GET only"), 0)
 		return
 	}
+	out := r.routerz()
+	api.WriteJSON(w, http.StatusOK, out)
+}
+
+// handleStatusz answers the cross-tier introspection contract: the same
+// typed RouterzResponse, wrapped in a StatuszResponse that names the
+// tier. Shards expose the shard-shaped variant at the same path, so one
+// client call pattern reads either tier.
+func (r *Router) handleStatusz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, errors.New("GET only"), 0)
+		return
+	}
+	rz := r.routerz()
+	api.WriteJSON(w, http.StatusOK, api.StatuszResponse{
+		Schema: SchemaVersion,
+		Tier:   api.TierRouter,
+		Router: &rz,
+	})
+}
+
+// routerz snapshots the router for /routerz and /v1/statusz.
+func (r *Router) routerz() RouterzResponse {
 	// Iterate the shard map, not the ring: drained shards are off the
 	// ring but operators still need to watch them coast to idle.
 	r.ringMu.RLock()
@@ -687,11 +791,23 @@ func (r *Router) handleRouterz(w http.ResponseWriter, req *http.Request) {
 			RetriesSpent:     r.retriesSpent.Load(),
 			BudgetExhausted:  r.budgetExhausted.Load(),
 		},
+		Hedge: api.HedgeStats{
+			Enabled:             r.cfg.HedgeEnabled,
+			Armed:               r.hedgeArmed.Load(),
+			Wins:                r.hedgeWins.Load(),
+			PrimaryWins:         r.hedgePrimaryWins.Load(),
+			LosersCanceled:      r.hedgeCanceled.Load(),
+			StreamedPassthrough: r.streamedPassthrough.Load(),
+		},
+	}
+	if r.cfg.HedgeEnabled {
+		out.Hedge.BaseDelayMs = float64(r.cfg.HedgeDelay) / 1e6
+		out.Hedge.MaxDelayMs = float64(r.cfg.HedgeMaxDelay) / 1e6
 	}
 	if r.cfg.ChaosStats != nil {
 		out.Chaos = r.cfg.ChaosStats()
 	}
-	api.WriteJSON(w, http.StatusOK, out)
+	return out
 }
 
 func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {

@@ -30,6 +30,8 @@ func TestEveryEndpointStampsSchema(t *testing.T) {
 		wantStatus int
 	}{
 		{"routerz", ts.URL, http.MethodGet, "/routerz", "", "", http.StatusOK},
+		{"statusz", ts.URL, http.MethodGet, "/v1/statusz", "", "", http.StatusOK},
+		{"statusz wrong method", ts.URL, http.MethodPost, "/v1/statusz", "", "", http.StatusMethodNotAllowed},
 		{"healthz", ts.URL, http.MethodGet, "/v1/healthz", "", "", http.StatusOK},
 		{"solve ok", ts.URL, http.MethodPost, "/v1/solve", string(good), "", http.StatusOK},
 		{"solve wrong method", ts.URL, http.MethodGet, "/v1/solve", "", "", http.StatusMethodNotAllowed},

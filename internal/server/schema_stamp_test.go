@@ -40,6 +40,8 @@ func TestEveryEndpointStampsSchema(t *testing.T) {
 		{"batch wrong method", http.MethodGet, "/v1/solve/batch", "", http.StatusMethodNotAllowed},
 		{"batch bad body", http.MethodPost, "/v1/solve/batch", "{not json", http.StatusBadRequest},
 		{"stats", http.MethodGet, "/v1/stats", "", http.StatusOK},
+		{"statusz", http.MethodGet, "/v1/statusz", "", http.StatusOK},
+		{"statusz wrong method", http.MethodPost, "/v1/statusz", "", http.StatusMethodNotAllowed},
 		{"healthz", http.MethodGet, "/v1/healthz", "", http.StatusOK},
 	}
 	for _, tc := range cases {

@@ -126,6 +126,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/statusz", s.handleStatusz)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	s.mux = mux
 	return s
@@ -192,6 +193,15 @@ type solveOutcome struct {
 // injector. Deterministic: identical (entry, scenario, seeds) always
 // produce bit-identical residual histories.
 func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64) solveOutcome {
+	return s.solveHooked(ent, sc, rhsSeed, nil, nil)
+}
+
+// solveHooked is solve with optional streaming observers: onIter sees
+// every useful iteration (after the fingerprint recorder) and onDet every
+// fault-detection episode. Nil hooks reproduce solve exactly — same
+// arithmetic, same zero-allocation warm path — because the observers ride
+// on hooks the solvers already expose.
+func (s *Server) solveHooked(ent *entry, sc harness.Scenario, rhsSeed int64, onIter func(it int, rho float64), onDet func(core.DetectionEvent)) solveOutcome {
 	var out solveOutcome
 	c := ent.ctxs.Get().(*solveCtx)
 	defer ent.ctxs.Put(c)
@@ -218,9 +228,16 @@ func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64) solveOutc
 	}
 
 	c.hist = c.hist[:0]
+	record := c.record
+	if onIter != nil {
+		record = func(it int, rho float64) {
+			c.record(it, rho)
+			onIter(it, rho)
+		}
+	}
 	start := time.Now()
 	_, st, err := harness.SolveWith(ent.a, b, sc, sc.Seed, harness.SolveOpts{
-		Pool: s.pool, Ws: c.ws, M: m, OnIteration: c.record,
+		Pool: s.pool, Ws: c.ws, M: m, OnIteration: record, OnDetection: onDet,
 	})
 	out.solveNanos = time.Since(start).Nanoseconds()
 	out.stats = st
@@ -399,6 +416,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.cache.noteMaterialised(ent)
 	sc := req.Scenario(ent.spec, ent.label)
 
+	if wantsStream(r) {
+		// Streaming needs a flushing ResponseWriter; without one (an
+		// unusual middleware stack) the request falls through to the
+		// buffered path — the client's Accept is a preference, not a
+		// contract.
+		if _, ok := w.(http.Flusher); ok {
+			s.handleSolveStream(w, r, ent, hit, sc, &req)
+			return
+		}
+	}
+
 	t := newTask(coalesceKey(id.Key, &req), []rhsSpec{{seed: req.Seed, rhsSeed: req.ResolvedRHSSeed()}})
 	t.exec = func(group []*task) {
 		if hook := s.testHookPreSolve; hook != nil {
@@ -539,12 +567,9 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
-		return
-	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+// stats snapshots the service for /v1/stats and /v1/statusz.
+func (s *Server) stats() StatsResponse {
+	return StatsResponse{
 		Schema:        SchemaVersion,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.kernelWorkers(),
@@ -557,6 +582,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Expired:       s.expired.Load(),
 		Draining:      s.draining.Load(),
 		Cache:         s.cache.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+// handleStatusz serves the cross-tier introspection alias: the same
+// snapshot as /v1/stats, wrapped in the tier-tagged envelope the router
+// also serves under this path.
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		respondErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	st := s.stats()
+	writeJSON(w, http.StatusOK, api.StatuszResponse{
+		Schema: SchemaVersion,
+		Tier:   api.TierShard,
+		Shard:  &st,
 	})
 }
 
