@@ -34,16 +34,21 @@ import (
 )
 
 // Schema identifies the record layout; bump on incompatible changes.
-const Schema = 1
+// v2 added the worker count of the pool the parallel kernels ran on —
+// without it, two snapshots of pool-parallel kernels are not comparable.
+const Schema = 2
 
 // Record is one benchrec snapshot.
 type Record struct {
-	Schema     int            `json:"schema"`
-	GoVersion  string         `json:"go_version"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	Kernels    []KernelTiming `json:"kernels"`
+	Schema     int    `json:"schema"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Workers is the size of the shared worker pool the pool-parallel
+	// kernels dispatch onto (pool.Default()).
+	Workers int            `json:"workers"`
+	Kernels []KernelTiming `json:"kernels"`
 }
 
 // KernelTiming is the measured cost of one kernel.
@@ -222,6 +227,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    pool.Default().Workers(),
 	}
 	for _, k := range selected {
 		if !*quiet {

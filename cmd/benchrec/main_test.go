@@ -43,6 +43,12 @@ func TestRunEmitsSchemaVersionedRecord(t *testing.T) {
 		if rec.Schema != Schema {
 			t.Errorf("%s: schema %d, want %d", name, rec.Schema, Schema)
 		}
+		if rec.GOMAXPROCS < 1 {
+			t.Errorf("%s: gomaxprocs %d, want >= 1", name, rec.GOMAXPROCS)
+		}
+		if rec.Workers < 1 {
+			t.Errorf("%s: workers %d, want >= 1", name, rec.Workers)
+		}
 		if len(rec.Kernels) != 1 || rec.Kernels[0].Name != "dot/blocked" {
 			t.Fatalf("%s: kernels = %+v", name, rec.Kernels)
 		}

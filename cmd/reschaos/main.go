@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -57,10 +58,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	fs := flag.NewFlagSet("reschaos", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8999", "listen address")
-		target   = fs.String("target", "", "upstream base URL (a resilientd shard or a resrouter)")
-		planPath = fs.String("plan", "", "seeded chaos plan (JSON); empty passes all traffic through")
-		quiet    = fs.Bool("q", false, "suppress startup logging")
+		addr      = fs.String("addr", "127.0.0.1:8999", "listen address")
+		target    = fs.String("target", "", "upstream base URL (a resilientd shard or a resrouter)")
+		planPath  = fs.String("plan", "", "seeded chaos plan (JSON); empty passes all traffic through")
+		logFormat = fs.String("log-format", "text", "log line format: text or json")
+		quiet     = fs.Bool("q", false, "log warnings and errors only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,9 +114,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	if started != nil {
 		started <- ln.Addr()
 	}
-	if !*quiet {
-		fmt.Fprintf(stderr, "reschaos: proxying %s -> %s (plan %q, seed %d)\n", ln.Addr(), *target, *planPath, plan.Seed)
-	}
+	logger := obs.NewLogger(stderr, *logFormat, *quiet)
+	logger.Info("proxying", "addr", ln.Addr().String(), "target", *target, "plan", *planPath, "seed", plan.Seed)
 	hs := &http.Server{Handler: mux}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

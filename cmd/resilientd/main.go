@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -54,11 +55,15 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		shard       = fs.String("shard", "", "shard label stamped into result provenance and /v1/healthz (sharded deployments)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "clamp on requested deadlines")
-		quiet       = fs.Bool("q", false, "suppress startup and drain logging")
+		traceRing   = fs.Int("trace-ring", 0, "completed traces retained for /v1/tracez (0 = default)")
+		adminToken  = fs.String("admin-token", "", "bearer token gating /debug/pprof (empty = disabled)")
+		logFormat   = fs.String("log-format", "text", "log line format: text or json")
+		quiet       = fs.Bool("q", false, "log warnings and errors only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger := obs.NewLogger(stderr, *logFormat, *quiet)
 
 	srv := server.New(server.Config{
 		Workers:        *workers,
@@ -71,6 +76,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		ShardLabel:     *shard,
+		TraceRing:      *traceRing,
+		AdminToken:     *adminToken,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -80,9 +87,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	if started != nil {
 		started <- ln.Addr()
 	}
-	if !*quiet {
-		fmt.Fprintf(stderr, "resilientd: listening on %s\n", ln.Addr())
-	}
+	logger.Info("listening", "addr", ln.Addr().String(), "shard", *shard)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -94,9 +99,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		return err
 	case <-ctx.Done():
 	}
-	if !*quiet {
-		fmt.Fprintln(stderr, "resilientd: draining")
-	}
+	logger.Info("draining")
 	// Refuse new solves first — health probes see "draining", not a dead
 	// listener — then stop accepting connections and let in-flight
 	// handlers collect their solves, then drain the solve queue itself.
@@ -105,8 +108,6 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	defer cancel()
 	httpErr := hs.Shutdown(sctx)
 	srv.Shutdown()
-	if !*quiet {
-		fmt.Fprintln(stderr, "resilientd: drained")
-	}
+	logger.Info("drained")
 	return httpErr
 }

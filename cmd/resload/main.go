@@ -62,6 +62,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Schema identifies the resload record layout; bump on incompatible
@@ -306,6 +307,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit the JSON record on stdout instead of the text summary")
 		outPath   = fs.String("out", "", "also write the JSON record to this file")
 		check     = fs.Bool("check", false, "exit nonzero unless every request succeeded, every cell hashed identically, and every enabled cross-check passed")
+		logFormat = fs.String("log-format", "text", "log line format: text or json")
 		quiet     = fs.Bool("q", false, "suppress progress output")
 		isRouter  = fs.Bool("router", false, "target is a resrouter: require and report its /routerz")
 		chaosMode = fs.Bool("chaos", false, "the target router runs a fault-injection plan (-chaos-plan): require its /routerz chaos section, and -check additionally requires every injected bit flip to be detected and zero corrupt responses at this client")
@@ -364,10 +366,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *n < 1 || *c < 1 {
 		return fmt.Errorf("need -n ≥ 1 and -c ≥ 1")
 	}
-	if !*quiet {
-		fmt.Fprintf(stderr, "resload: %d requests over %d cells, %d workers, target %s\n",
-			*n, len(mix), *c, *addr)
-	}
+	logger := obs.NewLogger(stderr, *logFormat, *quiet)
+	logger.Info("firing", "requests", *n, "cells", len(mix), "workers", *c, "target", *addr)
 
 	var outcomes []outcome
 	var wall time.Duration
@@ -420,7 +420,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if *check {
 				return fmt.Errorf("check failed: -router target has no /routerz: %w", err)
 			}
-			fmt.Fprintf(stderr, "resload: warning: /routerz unreachable: %v\n", err)
+			logger.Warn("/routerz unreachable", "error", err.Error())
 		}
 		rec.Router = rs
 	}

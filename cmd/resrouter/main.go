@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/router"
 )
 
@@ -82,16 +83,14 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		hedge         = fs.Bool("hedge", false, "hedge idempotent solves: arm a duplicate on the next ring replica after a tail-latency delay, first verified answer wins")
 		hedgeDelay    = fs.Duration("hedge-delay", 30*time.Millisecond, "hedge arm delay until a shard has a P99 estimate of its own")
 		hedgeMax      = fs.Duration("hedge-max-delay", 2*time.Second, "cap on the P99-derived hedge arm delay")
-		quiet         = fs.Bool("q", false, "suppress startup, reload and drain logging")
+		traceRing     = fs.Int("trace-ring", 0, "completed traces retained for /v1/tracez (0 = default)")
+		logFormat     = fs.String("log-format", "text", "log line format: text or json")
+		quiet         = fs.Bool("q", false, "log warnings and errors only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	logf := func(format string, a ...any) {
-		if !*quiet {
-			fmt.Fprintf(stderr, "resrouter: "+format+"\n", a...)
-		}
-	}
+	logger := obs.NewLogger(stderr, *logFormat, *quiet)
 
 	// desiredTopology is the reload unit: the topology file (when given)
 	// plus the -spawn synthetic shards, revalidated as a whole.
@@ -128,7 +127,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 			backoff:     *restartBase,
 			maxBackoff:  *restartMax,
 			maxRestarts: *restartLimit,
-			logf:        logf,
+			log:         logger,
 		})
 		runtime = procs
 	} else {
@@ -150,9 +149,20 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		HedgeEnabled:   *hedge,
 		HedgeDelay:     *hedgeDelay,
 		HedgeMaxDelay:  *hedgeMax,
+		TraceRing:      *traceRing,
+		Logger:         logger,
+	}
+	if procs != nil {
+		// The watchdog's restart tally joins the router's /metrics page: a
+		// scrape sees crash-loop churn next to the routing counters.
+		cfg.Observe = func(m *obs.Registry) {
+			m.CounterFunc("resilient_router_supervisor_restarts_total",
+				"Supervised shard relaunches after a crash or failed start.",
+				func() float64 { return float64(procs.restarts.Load()) })
+		}
 	}
 	if *hedge {
-		logf("HEDGE: tail-latency hedging on (base delay %v, cap %v)", *hedgeDelay, *hedgeMax)
+		logger.Info("tail-latency hedging enabled", "base_delay", hedgeDelay.String(), "max_delay", hedgeMax.String())
 	}
 	if *chaosPlan != "" {
 		plan, err := chaos.LoadPlan(*chaosPlan)
@@ -168,7 +178,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		inj := chaos.New(plan, nil, opts...)
 		cfg.Transport = inj
 		cfg.ChaosStats = inj.Stats
-		logf("CHAOS: injecting faults into shard-bound solve traffic (plan %s, seed %d)", *chaosPlan, plan.Seed)
+		logger.Info("chaos fault injection enabled", "plan", *chaosPlan, "seed", plan.Seed)
 	}
 	rt, err := router.New(cfg, topo.Shards)
 	if err != nil {
@@ -182,12 +192,12 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	if started != nil {
 		started <- ln.Addr()
 	}
-	logf("listening on %s, %d shards:", ln.Addr(), len(topo.Shards))
+	logger.Info("listening", "addr", ln.Addr().String(), "shards", len(topo.Shards))
 	for _, sh := range rt.CurrentTopology().Shards {
-		logf("  %-12s %s (%s)", sh.Name, sh.Addr, sh.State)
+		logger.Info("shard", "name", sh.Name, "addr", sh.Addr, "state", sh.State)
 	}
 	if *adminToken != "" {
-		logf("admin API enabled at /v1/admin (bearer token)")
+		logger.Info("admin API enabled", "path", "/v1/admin")
 	}
 
 	// Live topology: SIGHUP and the mtime watch both funnel into one
@@ -199,18 +209,18 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	reload := func(reason string) {
 		next, err := desiredTopology()
 		if err != nil {
-			logf("reload (%s) rejected, keeping previous ring: %v", reason, err)
+			logger.Warn("topology reload rejected, keeping previous ring", "reason", reason, "error", err.Error())
 			return
 		}
 		rep, err := rt.Apply(next)
 		if err != nil {
-			logf("reload (%s) rejected, keeping previous ring: %v", reason, err)
+			logger.Warn("topology reload rejected, keeping previous ring", "reason", reason, "error", err.Error())
 			return
 		}
 		if rep.Changed() {
-			logf("reload (%s) applied: %s", reason, rep)
+			logger.Info("topology reload applied", "reason", reason, "report", rep.String())
 		} else {
-			logf("reload (%s): no change", reason)
+			logger.Info("topology reload: no change", "reason", reason)
 		}
 	}
 	watcherDone := make(chan struct{})
@@ -262,7 +272,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 		return err
 	case <-ctx.Done():
 	}
-	logf("draining")
+	logger.Info("draining")
 	stopWatch()
 	<-watcherDone
 	// Drain outside-in: refuse new solves at the router, stop its
@@ -274,6 +284,6 @@ func run(ctx context.Context, args []string, stderr io.Writer, started chan<- ne
 	defer cancel()
 	httpErr := hs.Shutdown(sctx)
 	rt.Shutdown()
-	logf("drained")
+	logger.Info("drained")
 	return httpErr
 }

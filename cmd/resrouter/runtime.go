@@ -3,11 +3,13 @@ package main
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os/exec"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/server"
@@ -72,6 +74,10 @@ func (l *localRuntime) Stop(name string) error {
 type procRuntime struct {
 	cfg procConfig
 
+	// restarts counts child relaunches after a crash or failed start,
+	// exported into the router's /metrics page via Config.Observe.
+	restarts atomic.Int64
+
 	mu       sync.Mutex
 	children map[string]*procShard
 }
@@ -87,7 +93,8 @@ type procConfig struct {
 	// healthWait bounds how long Start waits for a fresh child's
 	// /v1/healthz (0 = 15s).
 	healthWait time.Duration
-	logf       func(format string, a ...any)
+	// log receives the structured lifecycle lines (nil discards them).
+	log *slog.Logger
 }
 
 type procShard struct {
@@ -171,20 +178,13 @@ func (p *procRuntime) KillByAddr(hostport string) bool {
 }
 
 func (p *procRuntime) logEvent(ev supervisor.Event) {
-	if p.cfg.logf == nil {
-		return
+	// Every crash or failed start schedules a relaunch (until the budget
+	// is exhausted): that is the restart tally operators alert on.
+	if ev.Kind == "exit" || ev.Kind == "start-error" {
+		p.restarts.Add(1)
 	}
-	switch ev.Kind {
-	case "start":
-		p.cfg.logf("shard %s: started pid %d (restarts so far: %d)", ev.Name, ev.PID, ev.Restarts)
-	case "exit":
-		p.cfg.logf("shard %s: pid %d exited (%v); restart in %s", ev.Name, ev.PID, ev.Err, ev.Backoff)
-	case "start-error":
-		p.cfg.logf("shard %s: start failed (%v); retry in %s", ev.Name, ev.Err, ev.Backoff)
-	case "exhausted":
-		p.cfg.logf("shard %s: crash-loop exhausted after %d restarts; giving up", ev.Name, ev.Restarts)
-	case "stop":
-		p.cfg.logf("shard %s: stopped", ev.Name)
+	if p.cfg.log != nil {
+		supervisor.LogEvents(p.cfg.log)(ev)
 	}
 }
 

@@ -286,6 +286,7 @@ const (
 type StatuszResponse struct {
 	Schema int              `json:"schema"`
 	Tier   string           `json:"tier"`
+	Build  *BuildInfo       `json:"build,omitempty"`
 	Router *RouterzResponse `json:"router,omitempty"`
 	Shard  *StatsResponse   `json:"shard,omitempty"`
 }

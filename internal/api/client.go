@@ -228,6 +228,26 @@ func (c *Client) Statusz(ctx context.Context) (*StatuszResponse, error) {
 	return &out, nil
 }
 
+// Tracez fetches /v1/tracez: the most recently completed traces on the
+// target tier. n caps the number returned (0 = all retained); a
+// non-empty id looks one trace up exactly.
+func (c *Client) Tracez(ctx context.Context, n int, id string) (*TraceResponse, error) {
+	path := "/v1/tracez"
+	sep := "?"
+	if n > 0 {
+		path += fmt.Sprintf("%sn=%d", sep, n)
+		sep = "&"
+	}
+	if id != "" {
+		path += sep + "id=" + id
+	}
+	var out TraceResponse
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // AdminTopology fetches the live topology through the admin API.
 func (c *Client) AdminTopology(ctx context.Context) (*AdminTopologyResponse, error) {
 	var out AdminTopologyResponse

@@ -90,6 +90,10 @@ type Result struct {
 	// one). After a failover the same scenario may legitimately be served
 	// by different shards, so Canonical ignores it.
 	Shard string `json:"shard,omitempty"`
+	// TraceID is provenance like Shard: the distributed trace the solve
+	// was recorded under (query it at /v1/tracez on the tier that served
+	// the request). Canonical ignores it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // newResult aggregates the trial outcomes into a record.
@@ -173,6 +177,7 @@ func (r Result) Canonical() Result {
 	r.WallSeconds = 0
 	r.Workers = 0
 	r.Shard = ""
+	r.TraceID = ""
 	return r
 }
 

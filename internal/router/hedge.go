@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Hedged replica reads. A solve is deterministic and idempotent: every
@@ -76,7 +78,7 @@ func (r *Router) hedgeDelayFor(s *shardState) time.Duration {
 // indifferent: a primary failure before the hedge arms returns at once
 // (the outer loop's next attempt is the failover); after arming, the
 // round only fails when both replicas have.
-func (r *Router) fetchHedged(ctx context.Context, primary, secondary *shardState, path string, body []byte) (rel *relayable, hedgedWin bool, hint time.Duration, err error) {
+func (r *Router) fetchHedged(ctx context.Context, primary, secondary *shardState, path string, body []byte, tr *obs.Active) (rel *relayable, hedgedWin bool, hint time.Duration, err error) {
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // cancels the loser (or both, on outer-deadline exit)
 
@@ -87,12 +89,17 @@ func (r *Router) fetchHedged(ctx context.Context, primary, secondary *shardState
 		s    *shardState
 	}
 	results := make(chan result, 2) // buffered: a loser's send never blocks
+	// The fetch goroutines get the trace ID as a plain string and never
+	// touch tr: a canceled loser can outlive this call — and tr's return
+	// to its pool — so only this (synchronous) select loop records spans.
+	traceID := tr.ID()
 	launch := func(s *shardState) {
 		go func() {
-			rel, hint, err := r.fetch(hctx, s, path, body)
+			rel, hint, err := r.fetch(hctx, s, path, body, traceID)
 			results <- result{rel, hint, err, s}
 		}()
 	}
+	started := map[*shardState]int64{primary: tr.Now()}
 	launch(primary)
 
 	timer := time.NewTimer(r.hedgeDelayFor(primary))
@@ -106,9 +113,12 @@ func (r *Router) fetchHedged(ctx context.Context, primary, secondary *shardState
 			armed = true
 			r.hedgeArmed.Add(1)
 			pending++
+			tr.AddSpan(obs.SpanHedgeArm, secondary.name, "", tr.Now(), 0)
+			started[secondary] = tr.Now()
 			launch(secondary)
 		case out := <-results:
 			pending--
+			tr.AddSpan(obs.SpanAttempt, out.s.name, "", started[out.s], tr.Now()-started[out.s])
 			if out.rel != nil {
 				if pending > 0 {
 					r.hedgeCanceled.Add(int64(pending))

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -110,6 +112,17 @@ type Config struct {
 	// HedgeMaxDelay caps the P99-derived arm delay (default 2s): a shard
 	// whose tail blew out still gets hedged within a bounded wait.
 	HedgeMaxDelay time.Duration
+	// TraceRing bounds the completed traces retained for /v1/tracez
+	// (default obs.DefaultTraceRing).
+	TraceRing int
+	// Logger receives request-scoped structured log lines (failovers,
+	// budget exhaustion), each carrying the request's trace_id. Nil
+	// discards them.
+	Logger *slog.Logger
+	// Observe, when set, is called once with the router's metrics
+	// registry so the embedding process can contribute series of its own
+	// (the resrouter daemon registers supervisor restart counts here).
+	Observe func(*obs.Registry)
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +240,11 @@ type Router struct {
 	hedgePrimaryWins    atomic.Int64 // races won by the primary after arming
 	hedgeCanceled       atomic.Int64 // losers canceled while still in flight
 	streamedPassthrough atomic.Int64 // streaming solves relayed unbuffered
+
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+	reqHist *obs.Histogram
+	logger  *slog.Logger
 }
 
 // New builds a router over the shard set and starts its health prober.
@@ -247,6 +265,15 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 		keys:    make(map[uint64]string),
 		started: time.Now(),
 		stop:    make(chan struct{}),
+		tracer:  obs.NewTracer(api.TierRouter, cfg.TraceRing),
+		logger:  cfg.Logger,
+	}
+	if r.logger == nil {
+		r.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	r.registerMetrics()
+	if cfg.Observe != nil {
+		cfg.Observe(r.metrics)
 	}
 	for _, sh := range shards {
 		if sh.Name == "" {
@@ -268,6 +295,9 @@ func New(cfg Config, shards []Shard) (*Router, error) {
 	mux.HandleFunc("/routerz", r.handleRouterz)
 	mux.HandleFunc("/v1/statusz", r.handleStatusz)
 	mux.HandleFunc("/v1/healthz", r.handleHealthz)
+	mux.HandleFunc("/v1/tracez", r.handleTracez)
+	mux.Handle("/metrics", r.metrics.Handler())
+	api.MountPprof(mux, cfg.AdminToken)
 	r.mountAdmin(mux)
 	r.mux = mux
 	r.probing.Add(1)
@@ -393,9 +423,16 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, errors.New("POST only"), 0)
 		return
 	}
+	// Mint (or adopt) the request's trace ID before anything can fail:
+	// every answer this handler writes — success or error envelope —
+	// carries the header, and every shard attempt forwards it.
+	tr := r.tracer.Start(req.Header.Get(api.TraceHeader))
+	defer r.tracer.Finish(tr)
+	w.Header().Set(api.TraceHeader, tr.ID())
 	r.drainMu.RLock()
 	if r.draining.Load() {
 		r.drainMu.RUnlock()
+		tr.SetError(api.CodeDraining)
 		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errors.New("router: shutting down"), retryAfterDrainingMillis)
 		return
 	}
@@ -407,6 +444,7 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	// and a retry on the next replica needs to resend it bit-identically.
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	if err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondBadRequest(w, fmt.Errorf("reading request: %w", err))
 		return
 	}
@@ -414,22 +452,26 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	if path == "/v1/solve/batch" {
 		var breq api.BatchSolveRequest
 		if err := json.Unmarshal(body, &breq); err != nil {
+			tr.SetError(api.CodeBadRequest)
 			respondBadRequest(w, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		breq.WithDefaults()
 		if err := breq.Validate(); err != nil {
+			tr.SetError(api.CodeBadRequest)
 			respondBadRequest(w, err)
 			return
 		}
 		sreq = breq.SolveRequest
 	} else {
 		if err := json.Unmarshal(body, &sreq); err != nil {
+			tr.SetError(api.CodeBadRequest)
 			respondBadRequest(w, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		sreq.WithDefaults()
 		if err := sreq.Validate(); err != nil {
+			tr.SetError(api.CodeBadRequest)
 			respondBadRequest(w, err)
 			return
 		}
@@ -438,12 +480,14 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 	// artifacts warm exactly one shard.
 	id, err := server.ResolveIdentity(&sreq)
 	if err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondBadRequest(w, err)
 		return
 	}
 	cands := r.candidates(id.Key)
 	if len(cands) == 0 {
 		r.unroutable.Add(1)
+		tr.SetError(api.CodeUnroutable)
 		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable, errors.New("router: no shard available"), 0)
 		return
 	}
@@ -451,7 +495,7 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		// Streaming is explicitly non-idempotent at the relay layer: frames
 		// go to the client as they arrive, so once the stream starts there
 		// is nothing to retry, hedge or buffer. Dedicated pass-through path.
-		r.streamSolve(w, req, &sreq, id.Key, body, cands)
+		r.streamSolve(w, req, &sreq, id.Key, body, cands, tr)
 		return
 	}
 	budget := r.cfg.RetryBudget
@@ -492,6 +536,7 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		if attempt > 0 {
 			r.failovers.Add(1)
 			r.retriesSpent.Add(1)
+			r.logger.Warn("failover retry", "trace_id", tr.ID(), "path", path, "attempt", attempt, "last_error", fmt.Sprint(lastErr))
 			if !r.retrySleep(ctx, attempt, retryHint) {
 				break
 			}
@@ -501,11 +546,25 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		var hint time.Duration
 		var err error
 		if attempt == 0 && hedgeP != nil {
-			rel, hedgedWin, hint, err = r.fetchHedged(ctx, hedgeP, hedgeS, path, body)
+			rel, hedgedWin, hint, err = r.fetchHedged(ctx, hedgeP, hedgeS, path, body, tr)
 		} else {
-			rel, hint, err = r.fetch(ctx, cands[attempt%len(cands)], path, body)
+			// Span bookkeeping stays on this goroutine: the fetch both
+			// starts and finishes here, so the span brackets it exactly.
+			shard := cands[attempt%len(cands)]
+			t0 := tr.Now()
+			rel, hint, err = r.fetch(ctx, shard, path, body, tr.ID())
+			name := obs.SpanAttempt
+			if attempt > 0 {
+				name = obs.SpanRetry
+			}
+			tr.AddSpan(name, shard.name, "", t0, tr.Now()-t0)
 		}
 		if rel != nil {
+			if rel.verifyNanos > 0 {
+				tr.AddSpan(obs.SpanDigestVerify, rel.shard.name, "", tr.Now()-rel.verifyNanos, rel.verifyNanos)
+			}
+			tr.AddSpan(obs.SpanRoute, rel.shard.name, path, 0, tr.Now())
+			r.reqHist.Observe(float64(tr.Now()) / 1e9)
 			r.relay(w, rel, attempt > 0, hedgedWin)
 			r.routed.Add(1)
 			r.trackKey(id.Key, rel.shard.name)
@@ -535,6 +594,8 @@ func (r *Router) routeSolve(w http.ResponseWriter, req *http.Request, path strin
 		code = api.CodeSaturated
 		retry = retryAfterSaturatedMillis
 	}
+	tr.SetError(code)
+	r.logger.Warn("request exhausted", "trace_id", tr.ID(), "path", path, "code", code, "last_error", fmt.Sprint(lastErr))
 	api.WriteError(w, status, code, fmt.Errorf("router: %d attempts over %d candidate shards failed, last: %w", budget, len(cands), lastErr), retry)
 }
 
@@ -590,6 +651,10 @@ type relayable struct {
 	digest  string
 	payload []byte
 	shard   *shardState
+	// verifyNanos is the time spent digest- and schema-verifying the
+	// payload; the winning answer's verification becomes a trace span,
+	// recorded by the routing goroutine (never a hedge loser's).
+	verifyNanos int64
 }
 
 // fetch sends the solve to one shard and returns the verified answer.
@@ -605,12 +670,17 @@ type relayable struct {
 // computed and that verify — 200s, validation 4xxs, solver 5xxs — are
 // relayable, not retried. hint carries a shard-supplied retry_after_ms
 // to pace the next attempt.
-func (r *Router) fetch(ctx context.Context, s *shardState, path string, body []byte) (rel *relayable, hint time.Duration, err error) {
+func (r *Router) fetch(ctx context.Context, s *shardState, path string, body []byte, traceID string) (rel *relayable, hint time.Duration, err error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, s.baseURL()+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		// Propagate the trace so the shard's spans land under the same ID
+		// — every attempt of a hedged or failover round shares it.
+		hreq.Header.Set(api.TraceHeader, traceID)
+	}
 	// GetBody lets seam transports (the chaos injector) fingerprint the
 	// request without consuming the primary reader.
 	hreq.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
@@ -660,6 +730,7 @@ func (r *Router) fetch(ctx context.Context, s *shardState, path string, body []b
 	// exact received bytes, and require the current schema stamp inside
 	// every 200 body. A failure means the bytes in hand are not what the
 	// shard computed — never relay them.
+	verifyStart := time.Now()
 	digest := resp.Header.Get(api.DigestHeader)
 	if !api.VerifyDigest(digest, payload) {
 		r.corruptResponses.Add(1)
@@ -676,16 +747,18 @@ func (r *Router) fetch(ctx context.Context, s *shardState, path string, body []b
 			return nil, 0, fmt.Errorf("%s: response schema violation (corrupt body)", s.name)
 		}
 	}
+	verifyNanos := time.Since(verifyStart).Nanoseconds()
 	if digest != "" {
 		r.digestVerified.Add(1)
 	}
 	s.notePassive(resp.StatusCode < 500, "shard answered "+resp.Status, r.cfg.FailThreshold)
 	return &relayable{
-		status:  resp.StatusCode,
-		ctype:   resp.Header.Get("Content-Type"),
-		digest:  digest,
-		payload: payload,
-		shard:   s,
+		status:      resp.StatusCode,
+		ctype:       resp.Header.Get("Content-Type"),
+		digest:      digest,
+		payload:     payload,
+		shard:       s,
+		verifyNanos: verifyNanos,
 	}, 0, nil
 }
 
@@ -734,6 +807,7 @@ func (r *Router) handleStatusz(w http.ResponseWriter, req *http.Request) {
 	api.WriteJSON(w, http.StatusOK, api.StatuszResponse{
 		Schema: SchemaVersion,
 		Tier:   api.TierRouter,
+		Build:  r.buildInfo(),
 		Router: &rz,
 	})
 }

@@ -47,6 +47,11 @@ func TestEveryEndpointStampsSchema(t *testing.T) {
 		{"admin add conflict", ts.URL, http.MethodPost, "/v1/admin/shards", `{"name":"s0"}`, "sekrit", http.StatusConflict},
 		{"admin drain unknown", ts.URL, http.MethodPost, "/v1/admin/shards/nope/drain", "", "sekrit", http.StatusNotFound},
 		{"admin remove unknown", ts.URL, http.MethodDelete, "/v1/admin/shards/nope", "", "sekrit", http.StatusNotFound},
+		{"tracez", ts.URL, http.MethodGet, "/v1/tracez", "", "", http.StatusOK},
+		{"tracez last-n", ts.URL, http.MethodGet, "/v1/tracez?n=2", "", "", http.StatusOK},
+		{"tracez by id", ts.URL, http.MethodGet, "/v1/tracez?id=nosuchtrace", "", "", http.StatusOK},
+		{"tracez wrong method", ts.URL, http.MethodPost, "/v1/tracez", "", "", http.StatusMethodNotAllowed},
+		{"pprof no token", tsNoAdmin.URL, http.MethodGet, "/debug/pprof/", "", "", http.StatusForbidden},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

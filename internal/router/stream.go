@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/obs"
 )
 
 // Streaming pass-through. A solve streamed as SSE is the one routed
@@ -49,8 +50,9 @@ func streamTarget(cands []*shardState) *shardState {
 // the upstream answers are still plain JSON envelopes (the client has
 // seen nothing yet); failures after the first relayed byte become a
 // typed error frame in the stream.
-func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api.SolveRequest, key string, body []byte, cands []*shardState) {
+func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api.SolveRequest, key string, body []byte, cands []*shardState, tr *obs.Active) {
 	target := streamTarget(cands)
+	streamStart := tr.Now()
 
 	timeout := r.cfg.RequestTimeout
 	if sreq.TimeoutMillis > 0 {
@@ -62,11 +64,13 @@ func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, target.baseURL()+"/v1/solve", bytes.NewReader(body))
 	if err != nil {
 		r.unroutable.Add(1)
+		tr.SetError(api.CodeUnroutable)
 		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable, err, 0)
 		return
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set("Accept", "text/event-stream")
+	hreq.Header.Set(api.TraceHeader, tr.ID())
 	hreq.GetBody = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(body)), nil }
 
 	target.inflight.Add(1)
@@ -80,6 +84,7 @@ func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api
 			target.notePassive(false, err.Error(), r.cfg.FailThreshold)
 		}
 		r.unroutable.Add(1)
+		tr.SetError(api.CodeUnroutable)
 		api.WriteError(w, http.StatusBadGateway, api.CodeUnroutable,
 			fmt.Errorf("streaming to shard %s: %w", target.name, err), 0)
 		return
@@ -144,6 +149,8 @@ func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api
 		if ctx.Err() == nil {
 			target.notePassive(false, copyErr.Error(), r.cfg.FailThreshold)
 		}
+		tr.AddSpan(obs.SpanStream, target.name, "died mid-stream", streamStart, tr.Now()-streamStart)
+		tr.SetError(api.CodeUnroutable)
 		if sse && !clientGone {
 			frame, merr := api.MarshalSSE(&api.SolveEvent{Kind: api.EventError, Error: &api.Error{
 				Schema:  SchemaVersion,
@@ -168,6 +175,7 @@ func (r *Router) streamSolve(w http.ResponseWriter, req *http.Request, sreq *api
 		}
 	}
 	target.notePassive(resp.StatusCode < 500, "shard answered "+resp.Status, r.cfg.FailThreshold)
+	tr.AddSpan(obs.SpanStream, target.name, "", streamStart, tr.Now()-streamStart)
 	r.streamedPassthrough.Add(1)
 	r.routed.Add(1)
 	r.trackKey(key, target.name)

@@ -48,7 +48,7 @@ func TestZeroAllocWarmSolvePath(t *testing.T) {
 		ent, sc := warmEntry(t, s, req)
 
 		solve := func() {
-			if out := s.solve(ent, sc, req.ResolvedRHSSeed()); out.err != nil {
+			if out := s.solve(ent, sc, req.ResolvedRHSSeed(), nil); out.err != nil {
 				t.Fatalf("%s: %v", name, out.err)
 			}
 		}
@@ -57,6 +57,27 @@ func TestZeroAllocWarmSolvePath(t *testing.T) {
 		if allocs := testing.AllocsPerRun(10, solve); allocs != 0 {
 			t.Errorf("%s: %v allocs per warm solve, want 0", name, allocs)
 		}
+
+		// Traced solves ride the same context: the live iteration tally is
+		// an increment through a pre-bound closure, so attaching an active
+		// trace must not cost a single allocation either. The Active is
+		// drawn outside the measured region — per-request trace setup is
+		// handler-side, off the solve hot path, and the Active itself is
+		// pooled there.
+		tr := s.tracer.Start("")
+		traced := func() {
+			if out := s.solve(ent, sc, req.ResolvedRHSSeed(), tr); out.err != nil {
+				t.Fatalf("%s traced: %v", name, out.err)
+			}
+		}
+		traced()
+		if allocs := testing.AllocsPerRun(10, traced); allocs != 0 {
+			t.Errorf("%s: %v allocs per warm traced solve, want 0", name, allocs)
+		}
+		if tr.Solver.Iterations == 0 {
+			t.Errorf("%s: traced solve recorded no iterations", name)
+		}
+		s.tracer.Finish(tr)
 	}
 }
 

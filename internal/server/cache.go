@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/precond"
 	"repro/internal/solver"
 	"repro/internal/sparse"
@@ -372,6 +373,11 @@ type solveCtx struct {
 	ws     *harness.Workspaces
 	hist   []float64
 	record func(it int, rho float64)
+	// trace, when set for the duration of one solve, receives the live
+	// iteration tally through the pre-bound record closure — tracing a
+	// warm solve therefore allocates exactly as much as not tracing it:
+	// nothing.
+	trace *obs.Active
 }
 
 func newSolveCtx() *solveCtx {
@@ -379,9 +385,17 @@ func newSolveCtx() *solveCtx {
 		Core:   core.NewWorkspace(),
 		Solver: solver.NewWorkspace(),
 	}}
-	c.record = func(_ int, rho float64) { c.hist = append(c.hist, rho) }
+	c.record = func(_ int, rho float64) {
+		c.hist = append(c.hist, rho)
+		if tr := c.trace; tr != nil {
+			tr.Solver.Iterations++
+		}
+	}
 	return c
 }
+
+// clearTrace detaches the trace before the context returns to the pool.
+func (c *solveCtx) clearTrace() { c.trace = nil }
 
 // batchCtx is the per-group execution context of a blocked solve, drawn
 // from an entry's bctxs pool: the reusable block workspaces plus the

@@ -46,7 +46,7 @@ func TestWarmSolveBitIdentical(t *testing.T) {
 			s := New(Config{Workers: 1, Concurrency: 1})
 			ent, sc := warmEntry(t, s, req)
 			for rep := 0; rep < 3; rep++ { // rep 0 cold, reps 1–2 warm
-				out := s.solve(ent, sc, req.ResolvedRHSSeed())
+				out := s.solve(ent, sc, req.ResolvedRHSSeed(), nil)
 				if out.err != nil {
 					t.Fatalf("%s/%s: %v", tc.solver, tc.scheme, out.err)
 				}

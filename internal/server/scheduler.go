@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 var (
@@ -43,6 +45,11 @@ type task struct {
 	// coalesced is the total RHS width of the merged block this task was
 	// solved in (1 for an un-coalesced single).
 	coalesced int
+	// trace, when non-nil, is the request's active trace; the single-solve
+	// path threads it into the solver hooks so iteration tallies are
+	// recorded live. Coalesced blocks leave the members' traces alone —
+	// the handlers fill solver tallies from the per-lane stats instead.
+	trace *obs.Active
 
 	enqueued   time.Time
 	queueNanos int64

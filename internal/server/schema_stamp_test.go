@@ -43,6 +43,11 @@ func TestEveryEndpointStampsSchema(t *testing.T) {
 		{"statusz", http.MethodGet, "/v1/statusz", "", http.StatusOK},
 		{"statusz wrong method", http.MethodPost, "/v1/statusz", "", http.StatusMethodNotAllowed},
 		{"healthz", http.MethodGet, "/v1/healthz", "", http.StatusOK},
+		{"tracez", http.MethodGet, "/v1/tracez", "", http.StatusOK},
+		{"tracez last-n", http.MethodGet, "/v1/tracez?n=2", "", http.StatusOK},
+		{"tracez by id", http.MethodGet, "/v1/tracez?id=nosuchtrace", "", http.StatusOK},
+		{"tracez wrong method", http.MethodPost, "/v1/tracez", "", http.StatusMethodNotAllowed},
+		{"pprof no token", http.MethodGet, "/debug/pprof/", "", http.StatusForbidden},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/sparse"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	// in /v1/healthz and stamped into every result record's Shard field so
 	// routed responses carry their provenance.
 	ShardLabel string
+	// TraceRing bounds the completed traces retained for /v1/tracez
+	// (default obs.DefaultTraceRing).
+	TraceRing int
+	// AdminToken, when non-empty, unlocks the /debug/pprof endpoints via
+	// bearer auth; with no token profiling answers 403.
+	AdminToken string
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +111,11 @@ type Server struct {
 	rejected  atomic.Int64
 	expired   atomic.Int64
 
+	tracer    *obs.Tracer
+	metrics   *obs.Registry
+	solveHist *obs.Histogram
+	queueHist *obs.Histogram
+
 	// testHookPreSolve, when non-nil, runs on the scheduler goroutine
 	// after a task is claimed and before its solve — a deterministic seam
 	// for the saturation and drain tests.
@@ -121,13 +133,18 @@ func New(cfg Config) *Server {
 		cache:     newCache(cfg.CacheEntries, cfg.CacheBytes, cfg.CacheTTL),
 		sched:     newScheduler(cfg.Concurrency, cfg.QueueDepth, cfg.MaxCoalesce),
 		started:   time.Now(),
+		tracer:    obs.NewTracer(api.TierShard, cfg.TraceRing),
 	}
+	s.registerMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/solve/batch", s.handleSolveBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/statusz", s.handleStatusz)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/tracez", s.handleTracez)
+	mux.Handle("/metrics", s.metrics.Handler())
+	api.MountPprof(mux, cfg.AdminToken)
 	s.mux = mux
 	return s
 }
@@ -192,19 +209,26 @@ type solveOutcome struct {
 // alloc_test.go); fault-injecting requests additionally construct their
 // injector. Deterministic: identical (entry, scenario, seeds) always
 // produce bit-identical residual histories.
-func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64) solveOutcome {
-	return s.solveHooked(ent, sc, rhsSeed, nil, nil)
+func (s *Server) solve(ent *entry, sc harness.Scenario, rhsSeed int64, tr *obs.Active) solveOutcome {
+	return s.solveHooked(ent, sc, rhsSeed, tr, nil, nil)
 }
 
-// solveHooked is solve with optional streaming observers: onIter sees
+// solveHooked is solve with optional observers: tr receives the live
+// iteration tally through the context's pre-bound recorder (nil = not
+// traced; either way the warm path stays allocation-free), onIter sees
 // every useful iteration (after the fingerprint recorder) and onDet every
 // fault-detection episode. Nil hooks reproduce solve exactly — same
 // arithmetic, same zero-allocation warm path — because the observers ride
-// on hooks the solvers already expose.
-func (s *Server) solveHooked(ent *entry, sc harness.Scenario, rhsSeed int64, onIter func(it int, rho float64), onDet func(core.DetectionEvent)) solveOutcome {
+// on hooks the solvers already expose. OnDetection is only forwarded on
+// the streaming path (non-nil onDet): the solver's per-episode emitter
+// costs an allocation when armed, which streaming already pays and the
+// warm buffered path must not.
+func (s *Server) solveHooked(ent *entry, sc harness.Scenario, rhsSeed int64, tr *obs.Active, onIter func(it int, rho float64), onDet func(core.DetectionEvent)) solveOutcome {
 	var out solveOutcome
 	c := ent.ctxs.Get().(*solveCtx)
 	defer ent.ctxs.Put(c)
+	c.trace = tr
+	defer c.clearTrace()
 
 	b := ent.rhsFor(rhsSeed)
 	var m *sparse.CSR
@@ -235,9 +259,16 @@ func (s *Server) solveHooked(ent *entry, sc harness.Scenario, rhsSeed int64, onI
 			onIter(it, rho)
 		}
 	}
+	det := onDet
+	if onDet != nil && tr != nil {
+		det = func(ev core.DetectionEvent) {
+			tr.RecordDetection(ev.Iteration, ev.Detections, ev.Corrections, ev.RolledBack)
+			onDet(ev)
+		}
+	}
 	start := time.Now()
 	_, st, err := harness.SolveWith(ent.a, b, sc, sc.Seed, harness.SolveOpts{
-		Pool: s.pool, Ws: c.ws, M: m, OnIteration: record, OnDetection: onDet,
+		Pool: s.pool, Ws: c.ws, M: m, OnIteration: record, OnDetection: det,
 	})
 	out.solveNanos = time.Since(start).Nanoseconds()
 	out.stats = st
@@ -268,7 +299,7 @@ func (s *Server) runGroup(ent *entry, sc harness.Scenario, group []*task) {
 		t := group[0]
 		t.coalesced = 1
 		sc.Seed = t.specs[0].seed
-		t.outs[0] = s.solve(ent, sc, t.specs[0].rhsSeed)
+		t.outs[0] = s.solve(ent, sc, t.specs[0].rhsSeed, t.trace)
 		return
 	}
 	s.solveBlock(ent, sc, group, total)
@@ -386,22 +417,32 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	// Reuse a valid inbound trace ID (a fronting router minted one) or
+	// mint a fresh one; either way the response echoes it before anything
+	// can fail, so even error envelopes are correlatable.
+	tr := s.tracer.Start(r.Header.Get(api.TraceHeader))
+	defer s.tracer.Finish(tr)
+	w.Header().Set(api.TraceHeader, tr.ID())
 	if s.draining.Load() {
+		tr.SetError(api.CodeDraining)
 		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errShuttingDown, retryAfterDrainingMillis)
 		return
 	}
 	var req SolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	req.WithDefaults()
 	if err := req.Validate(); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
 	id, err := ResolveIdentity(&req)
 	if err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -409,9 +450,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Materialise on the handler goroutine: the cold construction cost
 	// never occupies a solver slot, and concurrent first requests for the
 	// same matrix block here on a single build.
+	fillStart := tr.Now()
 	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
+	}
+	if !hit {
+		tr.AddSpan(obs.SpanCacheFill, s.cfg.ShardLabel, ent.label, fillStart, tr.Now()-fillStart)
 	}
 	s.cache.noteMaterialised(ent)
 	sc := req.Scenario(ent.spec, ent.label)
@@ -422,23 +468,26 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// buffered path — the client's Accept is a preference, not a
 		// contract.
 		if _, ok := w.(http.Flusher); ok {
-			s.handleSolveStream(w, r, ent, hit, sc, &req)
+			s.handleSolveStream(w, r, ent, hit, sc, &req, tr)
 			return
 		}
 	}
 
 	t := newTask(coalesceKey(id.Key, &req), []rhsSpec{{seed: req.Seed, rhsSeed: req.ResolvedRHSSeed()}})
+	t.trace = tr
 	t.exec = func(group []*task) {
 		if hook := s.testHookPreSolve; hook != nil {
 			hook()
 		}
 		s.runGroup(ent, sc, group)
 	}
-	if !s.await(w, r, t, req.TimeoutMillis) {
+	submitAt := tr.Now()
+	if !s.await(w, r, t, req.TimeoutMillis, tr) {
 		return
 	}
 
 	out := t.outs[0]
+	s.traceSolved(tr, t, &out, submitAt, sc.Solver)
 	resp := SolveResponse{
 		Schema:      SchemaVersion,
 		Result:      s.record(ent, sc, out),
@@ -447,8 +496,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		SolveMillis: float64(out.solveNanos) / 1e6,
 		Coalesced:   t.coalesced,
 	}
+	resp.Result.TraceID = tr.ID()
 	if out.err != nil {
 		s.failed.Add(1)
+		tr.SetError(out.err.Error())
 		resp.SolveError = out.err.Error()
 	}
 	s.completed.Add(1)
@@ -460,14 +511,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // whether the caller owns a completed task to respond with. A task a
 // worker already claimed runs to completion and is delivered — the
 // deadline bounds queue wait, not a started solve.
-func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutMillis int) bool {
+func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutMillis int, tr *obs.Active) bool {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(timeoutMillis))
 	defer cancel()
 	if err := s.sched.submit(t); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.rejected.Add(1)
+			tr.SetError(api.CodeSaturated)
 			api.WriteError(w, http.StatusTooManyRequests, api.CodeSaturated, err, retryAfterSaturatedMillis)
 		} else {
+			tr.SetError(api.CodeDraining)
 			api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, err, retryAfterDrainingMillis)
 		}
 		return false
@@ -479,6 +532,7 @@ func (s *Server) await(w http.ResponseWriter, r *http.Request, t *task, timeoutM
 			// Still queued: abandon it before a worker (or a coalescing
 			// scan) picks it up.
 			s.expired.Add(1)
+			tr.SetError(api.CodeExpired)
 			api.WriteError(w, http.StatusGatewayTimeout, api.CodeExpired,
 				fmt.Errorf("deadline exceeded while queued: %w", ctx.Err()), 0)
 			return false
@@ -493,29 +547,41 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 		respondErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	tr := s.tracer.Start(r.Header.Get(api.TraceHeader))
+	defer s.tracer.Finish(tr)
+	w.Header().Set(api.TraceHeader, tr.ID())
 	if s.draining.Load() {
+		tr.SetError(api.CodeDraining)
 		api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, errShuttingDown, retryAfterDrainingMillis)
 		return
 	}
 	var req BatchSolveRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	req.WithDefaults()
 	if err := req.Validate(); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
 	id, err := ResolveIdentity(&req.SolveRequest)
 	if err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
 	}
 	ent, hit := s.cache.get(id.Key, id.Label, id.Spec)
+	fillStart := tr.Now()
 	if err := ent.materialise(s.kernelWorkers(), id.Build); err != nil {
+		tr.SetError(api.CodeBadRequest)
 		respondErr(w, http.StatusBadRequest, err)
 		return
+	}
+	if !hit {
+		tr.AddSpan(obs.SpanCacheFill, s.cfg.ShardLabel, ent.label, fillStart, tr.Now()-fillStart)
 	}
 	s.cache.noteMaterialised(ent)
 	s.cache.noteBatchWidth(ent, len(req.RHS))
@@ -535,9 +601,11 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 	// The deadline covers the whole batch: expiry while queued answers 504
 	// for every right-hand side of this request (merged-in singles keep
 	// their own deadlines and answers).
-	if !s.await(w, r, t, req.TimeoutMillis) {
+	submitAt := tr.Now()
+	if !s.await(w, r, t, req.TimeoutMillis, tr) {
 		return
 	}
+	s.traceSolved(tr, t, &t.outs[0], submitAt, sc.Solver)
 
 	resp := BatchSolveResponse{
 		Schema:      SchemaVersion,
@@ -557,6 +625,7 @@ func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
 			Result:      s.record(ent, ri.Scenario(ent.spec, ent.label), out),
 			SolveMillis: float64(out.solveNanos) / 1e6,
 		}
+		br.Result.TraceID = tr.ID()
 		if out.err != nil {
 			s.failed.Add(1)
 			br.SolveError = out.err.Error()
@@ -605,6 +674,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.StatuszResponse{
 		Schema: SchemaVersion,
 		Tier:   api.TierShard,
+		Build:  s.buildInfo(),
 		Shard:  &st,
 	})
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 // Streaming solves: POST /v1/solve with "Accept: text/event-stream"
@@ -37,7 +38,7 @@ const streamEventBuffer = 256
 // the stream only starts once the task is queued, so a client always gets
 // either a plain rejection or a stream with a terminal frame. The
 // caller has already verified the ResponseWriter can flush.
-func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *entry, hit bool, sc harness.Scenario, req *SolveRequest) {
+func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *entry, hit bool, sc harness.Scenario, req *SolveRequest, tr *obs.Active) {
 	events := make(chan api.SolveEvent, streamEventBuffer)
 	emit := func(ev api.SolveEvent) {
 		select {
@@ -70,17 +71,23 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 			m.coalesced = 1
 			scc := sc
 			scc.Seed = m.specs[0].seed
-			m.outs[0] = s.solveHooked(ent, scc, m.specs[0].rhsSeed, onIter, onDet)
+			// The streamed solve runs on the scheduler goroutine while the
+			// handler pumps events; handing it the trace is safe because
+			// the handler only reads the trace after t.done.
+			m.outs[0] = s.solveHooked(ent, scc, m.specs[0].rhsSeed, tr, onIter, onDet)
 		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutMillis))
 	defer cancel()
+	submitAt := tr.Now()
 	if err := s.sched.submit(t); err != nil {
 		if errors.Is(err, errQueueFull) {
 			s.rejected.Add(1)
+			tr.SetError(api.CodeSaturated)
 			api.WriteError(w, http.StatusTooManyRequests, api.CodeSaturated, err, retryAfterSaturatedMillis)
 		} else {
+			tr.SetError(api.CodeDraining)
 			api.WriteError(w, http.StatusServiceUnavailable, api.CodeDraining, err, retryAfterDrainingMillis)
 		}
 		return
@@ -91,7 +98,8 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 		// Flusher was pre-checked; losing it here is programmer error, but
 		// the task is already queued — let it run and answer buffered.
 		<-t.done
-		s.finishStreamBuffered(w, ent, hit, sc, t)
+		s.traceSolved(tr, t, &t.outs[0], submitAt, sc.Solver)
+		s.finishStreamBuffered(w, ent, hit, sc, t, tr)
 		return
 	}
 
@@ -119,6 +127,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 				// headers may already be out, so the rejection is a typed
 				// terminal error frame instead of a 504.
 				s.expired.Add(1)
+				tr.SetError(api.CodeExpired)
 				send(&api.SolveEvent{Kind: api.EventError, Error: &api.Error{
 					Schema:  SchemaVersion,
 					Code:    api.CodeExpired,
@@ -141,6 +150,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 				break
 			}
 			out := t.outs[0]
+			s.traceSolved(tr, t, &out, submitAt, sc.Solver)
 			resp := SolveResponse{
 				Schema:      SchemaVersion,
 				Result:      s.record(ent, sc, out),
@@ -149,8 +159,10 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 				SolveMillis: float64(out.solveNanos) / 1e6,
 				Coalesced:   t.coalesced,
 			}
+			resp.Result.TraceID = tr.ID()
 			if out.err != nil {
 				s.failed.Add(1)
+				tr.SetError(out.err.Error())
 				resp.SolveError = out.err.Error()
 			}
 			s.completed.Add(1)
@@ -163,7 +175,7 @@ func (s *Server) handleSolveStream(w http.ResponseWriter, r *http.Request, ent *
 // finishStreamBuffered answers a completed streamed task as a plain JSON
 // body — the fallback when the writer lost its Flusher between the
 // pre-check and the stream start.
-func (s *Server) finishStreamBuffered(w http.ResponseWriter, ent *entry, hit bool, sc harness.Scenario, t *task) {
+func (s *Server) finishStreamBuffered(w http.ResponseWriter, ent *entry, hit bool, sc harness.Scenario, t *task, tr *obs.Active) {
 	out := t.outs[0]
 	resp := SolveResponse{
 		Schema:      SchemaVersion,
@@ -173,6 +185,7 @@ func (s *Server) finishStreamBuffered(w http.ResponseWriter, ent *entry, hit boo
 		SolveMillis: float64(out.solveNanos) / 1e6,
 		Coalesced:   t.coalesced,
 	}
+	resp.Result.TraceID = tr.ID()
 	if out.err != nil {
 		s.failed.Add(1)
 		resp.SolveError = out.err.Error()

@@ -1,0 +1,110 @@
+package supervisor
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncWriter serialises slog output from the supervision goroutine
+// against the test's reads.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestLogEventsEmitsStructuredFields crash-loops a child to exhaustion
+// under a JSON slog handler and asserts the lifecycle lines carry the
+// typed fields operators (and the obs tooling) key on: child name, kind,
+// restart count, backoff, and severity graded per kind.
+func TestLogEventsEmitsStructuredFields(t *testing.T) {
+	var w syncWriter
+	logger := slog.New(slog.NewJSONHandler(&w, nil))
+	c := Supervise("shard-x", func() *exec.Cmd {
+		return exec.Command("/bin/sh", "-c", "exit 3")
+	}, Config{
+		Backoff:     time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		MaxRestarts: 2,
+		OnEvent:     LogEvents(logger),
+	})
+	defer c.Stop()
+
+	waitUntil(t, "exhaustion line", func() bool {
+		return strings.Contains(w.String(), "exhausted")
+	})
+
+	type line struct {
+		Level    string  `json:"level"`
+		Msg      string  `json:"msg"`
+		Child    string  `json:"child"`
+		Kind     string  `json:"kind"`
+		PID      int     `json:"pid"`
+		Error    string  `json:"error"`
+		Backoff  float64 `json:"backoff_ms"`
+		Restarts int     `json:"restarts"`
+	}
+	byKind := map[string][]line{}
+	for _, raw := range strings.Split(strings.TrimSpace(w.String()), "\n") {
+		var l line
+		if err := json.Unmarshal([]byte(raw), &l); err != nil {
+			t.Fatalf("unparseable slog line %q: %v", raw, err)
+		}
+		if l.Child != "shard-x" {
+			t.Errorf("line %q: child = %q, want shard-x", raw, l.Child)
+		}
+		byKind[l.Kind] = append(byKind[l.Kind], l)
+	}
+
+	starts, exits, exhausted := byKind["start"], byKind["exit"], byKind["exhausted"]
+	if len(starts) != 3 { // initial run + MaxRestarts relaunches
+		t.Errorf("start lines = %d, want 3", len(starts))
+	}
+	for _, l := range starts {
+		if l.Level != "INFO" || l.PID == 0 {
+			t.Errorf("start line malformed: %+v", l)
+		}
+	}
+	if len(exits) != 3 {
+		t.Errorf("exit lines = %d, want 3", len(exits))
+	}
+	for _, l := range exits {
+		if l.Level != "WARN" {
+			t.Errorf("exit line level = %q, want WARN", l.Level)
+		}
+		if !strings.Contains(l.Error, "exit status 3") {
+			t.Errorf("exit line error = %q", l.Error)
+		}
+		if l.Backoff <= 0 {
+			t.Errorf("exit line has no backoff_ms: %+v", l)
+		}
+	}
+	if len(exits) >= 2 && exits[1].Restarts != 1 {
+		t.Errorf("second exit restarts = %d, want 1", exits[1].Restarts)
+	}
+	if len(exhausted) != 1 || exhausted[0].Level != "ERROR" {
+		t.Fatalf("exhausted lines = %+v, want one ERROR", exhausted)
+	}
+	// All three runs (initial + MaxRestarts relaunches) exited before the
+	// terminal event, so it reports three completed restarts.
+	if exhausted[0].Restarts != 3 {
+		t.Errorf("exhausted restarts = %d, want 3", exhausted[0].Restarts)
+	}
+}
